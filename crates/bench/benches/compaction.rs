@@ -1,0 +1,53 @@
+//! Ablation of the PMF compaction policy (DESIGN.md decision 6): chain a
+//! deep machine queue with no compaction versus impulse caps of 16/32/64,
+//! measuring time; the accompanying accuracy probe prints the worst
+//! chance-of-success deviation once per run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use taskdrop_model::queue::{chain, ChainTask};
+use taskdrop_pmf::{Compaction, Pmf};
+
+fn exec() -> Pmf {
+    Pmf::from_weights((0..24).map(|k| (40 + 7 * k, 1.0 + (k % 5) as f64)).collect()).unwrap()
+}
+
+fn tasks(exec: &Pmf, depth: usize) -> Vec<ChainTask<'_>> {
+    (0..depth).map(|k| ChainTask { deadline: 200 + 150 * k as u64, exec }).collect()
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let exec = exec();
+    let deep = tasks(&exec, 6);
+    let base = Pmf::point(0);
+
+    // One-time accuracy probe: worst per-position chance deviation vs exact.
+    let exact = chain(&base, &deep, Compaction::None);
+    for cap in [16usize, 32, 64] {
+        let approx = chain(&base, &deep, Compaction::MaxImpulses(cap));
+        let worst = exact
+            .iter()
+            .zip(approx.iter())
+            .map(|(e, a)| (e.chance - a.chance).abs())
+            .fold(0.0f64, f64::max);
+        eprintln!("compaction cap {cap}: worst chance error {worst:.5}");
+    }
+
+    let mut group = c.benchmark_group("queue_chain_depth6");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let policies = [
+        ("none", Compaction::None),
+        ("cap16", Compaction::MaxImpulses(16)),
+        ("cap32", Compaction::MaxImpulses(32)),
+        ("cap64", Compaction::MaxImpulses(64)),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            b.iter(|| black_box(chain(&base, &deep, *p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

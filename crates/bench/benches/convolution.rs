@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the PMF substrate: plain and deadline-aware
+//! convolution across impulse counts (factor *B* of the paper's Section IV-F
+//! complexity analysis).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use taskdrop_pmf::{deadline_convolve, Pmf};
+
+fn pmf_with_impulses(n: u64, spread: u64) -> Pmf {
+    let step = (spread / n).max(1);
+    Pmf::from_weights((0..n).map(|k| (10 + k * step, 1.0 + (k % 7) as f64)).collect()).unwrap()
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolve");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [8u64, 16, 32, 64, 128] {
+        let a = pmf_with_impulses(n, 400);
+        let b = pmf_with_impulses(n, 400);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.convolve(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("deadline", n), &n, |bench, _| {
+            bench.iter(|| black_box(deadline_convolve(&a, &b, 350)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    let p = pmf_with_impulses(64, 1000);
+    group.bench_function("mass_before", |b| b.iter(|| black_box(p.mass_before(black_box(500)))));
+    group.bench_function("mean", |b| b.iter(|| black_box(p.mean())));
+    group.bench_function("condition_at_least", |b| {
+        b.iter(|| black_box(p.condition_at_least(black_box(300))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convolution, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Mapping-heuristic cost per mapping event as the batch queue grows:
+//! MM/MSD run on cached scalar means, PAM pays for chance-of-success
+//! convolutions (amortised per task type).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use taskdrop_model::view::{MachineView, MappingInput, UnmappedView};
+use taskdrop_model::{MachineId, MachineTypeId, TaskId, TaskTypeId};
+use taskdrop_pmf::{Compaction, Pmf};
+use taskdrop_sched::{MappingHeuristic, MinMin, Msd, Pam};
+use taskdrop_workload::Scenario;
+
+fn machines(now: u64) -> Vec<MachineView> {
+    (0..8u16)
+        .map(|id| MachineView {
+            machine: MachineId(id),
+            machine_type: MachineTypeId(id),
+            free_slots: 2,
+            tail: Pmf::from_weights(vec![(now + 40, 1.0), (now + 90, 2.0), (now + 150, 1.0)])
+                .unwrap(),
+        })
+        .collect()
+}
+
+fn batch(n: usize) -> Vec<UnmappedView> {
+    (0..n)
+        .map(|k| UnmappedView {
+            id: TaskId(k as u64),
+            type_id: TaskTypeId((k % 12) as u16),
+            arrival: k as u64,
+            deadline: 300 + (k as u64 % 5) * 80,
+        })
+        .collect()
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let scenario = Scenario::specint(0xA5);
+    let mut group = c.benchmark_group("mapping_event");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [10usize, 50, 200] {
+        let unmapped = batch(n);
+        let mappers: Vec<(&str, Box<dyn MappingHeuristic>)> =
+            vec![("MM", Box::new(MinMin)), ("MSD", Box::new(Msd)), ("PAM", Box::new(Pam))];
+        for (name, mapper) in mappers {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let input = MappingInput {
+                        now: 0,
+                        pet: &scenario.pet,
+                        machines: machines(0),
+                        unmapped: &unmapped,
+                        compaction: Compaction::MaxImpulses(64),
+                    };
+                    black_box(mapper.map(input))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

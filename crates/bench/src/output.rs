@@ -1,0 +1,102 @@
+//! Rendering and persistence of experiment results.
+
+use crate::experiment::ResultRow;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders rows as a Markdown table: one row per x value, one column per
+/// series (the shape of the paper's figures).
+#[must_use]
+pub fn render_markdown(metric: &str, rows: &[ResultRow]) -> String {
+    let mut series: Vec<&str> = Vec::new();
+    let mut xs: Vec<&str> = Vec::new();
+    for r in rows {
+        if !series.contains(&r.series.as_str()) {
+            series.push(&r.series);
+        }
+        if !xs.contains(&r.x.as_str()) {
+            xs.push(&r.x);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("| {metric} |"));
+    for s in &series {
+        out.push_str(&format!(" {s} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for x in &xs {
+        out.push_str(&format!("| {x} |"));
+        for s in &series {
+            match rows.iter().find(|r| r.series == *s && r.x == *x) {
+                Some(r) => out.push_str(&format!(" {:.2} ± {:.2} |", r.mean, r.ci95)),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `results/<id>.csv` and `results/<id>.json` next to the workspace
+/// root (or under `$TASKDROP_RESULTS_DIR` if set) and returns the directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries want loud failures.
+pub fn write_outputs(id: &str, scale: &str, rows: &[ResultRow]) -> std::path::PathBuf {
+    let dir = std::env::var("TASKDROP_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = Path::new(&dir).to_path_buf();
+    fs::create_dir_all(&dir).expect("create results dir");
+
+    let csv_path = dir.join(format!("{id}-{scale}.csv"));
+    let mut csv = fs::File::create(&csv_path).expect("create csv");
+    writeln!(csv, "series,x,mean,ci95,trials").expect("write csv");
+    for r in rows {
+        writeln!(csv, "{},{},{:.6},{:.6},{}", r.series, r.x, r.mean, r.ci95, r.trials)
+            .expect("write csv");
+    }
+
+    let json_path = dir.join(format!("{id}-{scale}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("serialise rows");
+    fs::write(json_path, json).expect("write json");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(series: &str, x: &str, mean: f64) -> ResultRow {
+        ResultRow { series: series.into(), x: x.into(), mean, ci95: 1.0, trials: 3 }
+    }
+
+    #[test]
+    fn markdown_pivots_series_to_columns() {
+        let rows =
+            vec![row("A", "20k", 50.0), row("B", "20k", 40.0), row("A", "30k", 35.0)];
+        let md = render_markdown("Robustness", &rows);
+        assert!(md.contains("| Robustness | A | B |"));
+        assert!(md.contains("| 20k | 50.00 ± 1.00 | 40.00 ± 1.00 |"));
+        assert!(md.contains("| 30k | 35.00 ± 1.00 | — |"));
+    }
+
+    #[test]
+    fn outputs_written_to_temp_dir() {
+        let tmp = std::env::temp_dir().join(format!("taskdrop-test-{}", std::process::id()));
+        std::env::set_var("TASKDROP_RESULTS_DIR", &tmp);
+        let rows = vec![row("A", "x", 1.0)];
+        let dir = write_outputs("figtest", "quick", &rows);
+        assert!(dir.join("figtest-quick.csv").exists());
+        assert!(dir.join("figtest-quick.json").exists());
+        let csv = fs::read_to_string(dir.join("figtest-quick.csv")).unwrap();
+        assert!(csv.starts_with("series,x,mean"));
+        std::env::remove_var("TASKDROP_RESULTS_DIR");
+        let _ = fs::remove_dir_all(tmp);
+    }
+}

@@ -1,0 +1,79 @@
+//! Strongly-typed identifiers.
+//!
+//! Index-like newtypes (`u16`/`u64` per the perf guide's "smaller integers"
+//! advice) that prevent mixing task types with machine types at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index value.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a *task type* (row of the PET matrix).
+    TaskTypeId, u16, "tt"
+);
+id_type!(
+    /// Identifier of a *machine type* (column of the PET matrix).
+    MachineTypeId, u16, "mt"
+);
+id_type!(
+    /// Identifier of an individual task instance.
+    TaskId, u64, "task"
+);
+id_type!(
+    /// Identifier of an individual machine.
+    MachineId, u16, "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(TaskTypeId(3).to_string(), "tt3");
+        assert_eq!(MachineTypeId(1).to_string(), "mt1");
+        assert_eq!(TaskId(9).to_string(), "task9");
+        assert_eq!(MachineId(0).to_string(), "m0");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(TaskTypeId::from(7u16).index(), 7);
+        assert_eq!(TaskId::from(1234u64).index(), 1234);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TaskId(1) < TaskId(2));
+    }
+}

@@ -1,0 +1,47 @@
+//! Machines and machine types.
+
+use crate::{MachineId, MachineTypeId};
+use serde::{Deserialize, Serialize};
+
+/// A *machine type* — a hardware/VM class with its own execution-time
+/// distributions (PET matrix column) and an hourly price for the cost
+/// analysis of the paper's Figure 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineType {
+    /// Identifier; also the column index in the PET matrix.
+    pub id: MachineTypeId,
+    /// Human-readable name (e.g. `"opteron-2347"`, `"gpu-g4"`).
+    pub name: String,
+    /// Price in dollars per hour of busy time (AWS-style billing).
+    pub price_per_hour: f64,
+}
+
+/// One machine instance. Several machines may share a machine type (the
+/// video-transcoding scenario has two machines of each of its four types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Unique identifier.
+    pub id: MachineId,
+    /// The machine's type (PET matrix column).
+    pub type_id: MachineTypeId,
+}
+
+impl Machine {
+    /// Creates a machine instance.
+    #[must_use]
+    pub fn new(id: MachineId, type_id: MachineTypeId) -> Self {
+        Machine { id, type_id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_carries_type() {
+        let m = Machine::new(MachineId(3), MachineTypeId(1));
+        assert_eq!(m.id, MachineId(3));
+        assert_eq!(m.type_id, MachineTypeId(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! The PET (Probabilistic Execution Time) matrix.
+//!
+//! A `T × M` matrix of execution-time PMFs: entry `(i, j)` is the PMF of the
+//! execution time of task type `i` on machine type `j`, learned from
+//! historic executions (the paper samples 500 Gamma variates per cell and
+//! discretises them with a histogram). The matrix is immutable during a
+//! simulation and shared by the mapper, the dropper and the engine, so it
+//! also caches each cell's mean and the per-type / overall means used by the
+//! deadline formula.
+
+use crate::{MachineTypeId, TaskTypeId};
+use serde::{Deserialize, Serialize};
+use taskdrop_pmf::Pmf;
+
+/// Probabilistic Execution Time matrix (task types × machine types).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PetMatrix {
+    task_types: usize,
+    machine_types: usize,
+    /// Row-major: `cells[i * machine_types + j]`.
+    cells: Vec<Pmf>,
+    /// Cached cell means, same layout.
+    means: Vec<f64>,
+    /// Cached per-task-type mean across machine types (`avg_i`).
+    type_means: Vec<f64>,
+    /// Cached mean over all task types (`avg_all`).
+    overall_mean: f64,
+}
+
+impl PetMatrix {
+    /// Builds a PET matrix from row-major cells (`task_types` rows of
+    /// `machine_types` PMFs each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not equal `task_types * machine_types`,
+    /// if either dimension is zero, or if any cell is empty or not
+    /// normalised (every execution-time distribution must be proper).
+    #[must_use]
+    pub fn new(task_types: usize, machine_types: usize, cells: Vec<Pmf>) -> Self {
+        assert!(task_types > 0 && machine_types > 0, "PET matrix must be non-empty");
+        assert_eq!(
+            cells.len(),
+            task_types * machine_types,
+            "PET matrix needs task_types * machine_types cells"
+        );
+        for (idx, cell) in cells.iter().enumerate() {
+            assert!(
+                cell.is_normalized(),
+                "PET cell {} (type {}, machine type {}) is not a proper distribution",
+                idx,
+                idx / machine_types,
+                idx % machine_types
+            );
+        }
+        let means: Vec<f64> =
+            cells.iter().map(|c| c.mean().expect("normalised cells are non-empty")).collect();
+        let type_means: Vec<f64> = (0..task_types)
+            .map(|i| {
+                let row = &means[i * machine_types..(i + 1) * machine_types];
+                row.iter().sum::<f64>() / machine_types as f64
+            })
+            .collect();
+        let overall_mean = type_means.iter().sum::<f64>() / task_types as f64;
+        PetMatrix { task_types, machine_types, cells, means, type_means, overall_mean }
+    }
+
+    /// Number of task types (rows).
+    #[must_use]
+    pub fn task_types(&self) -> usize {
+        self.task_types
+    }
+
+    /// Number of machine types (columns).
+    #[must_use]
+    pub fn machine_types(&self) -> usize {
+        self.machine_types
+    }
+
+    #[inline]
+    fn idx(&self, t: TaskTypeId, m: MachineTypeId) -> usize {
+        debug_assert!(t.index() < self.task_types, "task type {t} out of range");
+        debug_assert!(m.index() < self.machine_types, "machine type {m} out of range");
+        t.index() * self.machine_types + m.index()
+    }
+
+    /// Execution-time PMF of task type `t` on machine type `m`.
+    #[must_use]
+    pub fn pmf(&self, t: TaskTypeId, m: MachineTypeId) -> &Pmf {
+        &self.cells[self.idx(t, m)]
+    }
+
+    /// Cached mean execution time of task type `t` on machine type `m`.
+    #[must_use]
+    pub fn mean_exec(&self, t: TaskTypeId, m: MachineTypeId) -> f64 {
+        self.means[self.idx(t, m)]
+    }
+
+    /// `avg_i`: mean execution time of task type `t` across machine types
+    /// (used by the paper's deadline formula).
+    #[must_use]
+    pub fn type_mean(&self, t: TaskTypeId) -> f64 {
+        self.type_means[t.index()]
+    }
+
+    /// `avg_all`: mean execution time over all task types.
+    #[must_use]
+    pub fn overall_mean(&self) -> f64 {
+        self.overall_mean
+    }
+
+    /// Measures *inconsistency* of the heterogeneity: the fraction of task
+    ///-type pairs whose machine-preference order differs between at least
+    /// one pair of machines. 0 for a consistent system (every machine is
+    /// uniformly faster/slower), approaching 1 for highly inconsistent ones.
+    #[must_use]
+    pub fn inconsistency(&self) -> f64 {
+        if self.machine_types < 2 || self.task_types < 2 {
+            return 0.0;
+        }
+        let mut inverted = 0usize;
+        let mut total = 0usize;
+        for a in 0..self.task_types {
+            for b in (a + 1)..self.task_types {
+                for ma in 0..self.machine_types {
+                    for mb in (ma + 1)..self.machine_types {
+                        let va = self.means[a * self.machine_types + ma]
+                            - self.means[a * self.machine_types + mb];
+                        let vb = self.means[b * self.machine_types + ma]
+                            - self.means[b * self.machine_types + mb];
+                        total += 1;
+                        if va * vb < 0.0 {
+                            inverted += 1;
+                        }
+                    }
+                }
+            }
+        }
+        inverted as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pet_2x2(m00: u64, m01: u64, m10: u64, m11: u64) -> PetMatrix {
+        PetMatrix::new(
+            2,
+            2,
+            vec![Pmf::point(m00), Pmf::point(m01), Pmf::point(m10), Pmf::point(m11)],
+        )
+    }
+
+    #[test]
+    fn means_cached_correctly() {
+        let pet = pet_2x2(10, 20, 30, 40);
+        assert_eq!(pet.mean_exec(TaskTypeId(0), MachineTypeId(0)), 10.0);
+        assert_eq!(pet.mean_exec(TaskTypeId(1), MachineTypeId(1)), 40.0);
+        assert_eq!(pet.type_mean(TaskTypeId(0)), 15.0);
+        assert_eq!(pet.type_mean(TaskTypeId(1)), 35.0);
+        assert_eq!(pet.overall_mean(), 25.0);
+    }
+
+    #[test]
+    fn pmf_lookup_row_major() {
+        let pet = pet_2x2(1, 2, 3, 4);
+        assert_eq!(pet.pmf(TaskTypeId(1), MachineTypeId(0)).support_min(), Some(3));
+    }
+
+    #[test]
+    fn consistent_matrix_has_zero_inconsistency() {
+        // Machine 1 is uniformly 2x slower.
+        let pet = pet_2x2(10, 20, 30, 60);
+        assert_eq!(pet.inconsistency(), 0.0);
+    }
+
+    #[test]
+    fn inverted_matrix_has_positive_inconsistency() {
+        // Machine 0 faster for type 0, machine 1 faster for type 1.
+        let pet = pet_2x2(10, 20, 20, 10);
+        assert!(pet.inconsistency() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn rejects_wrong_cell_count() {
+        let _ = PetMatrix::new(2, 2, vec![Pmf::point(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "proper distribution")]
+    fn rejects_subnormalized_cell() {
+        let _ = PetMatrix::new(1, 1, vec![Pmf::point(1).scale_mass(0.5)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tasks and task types.
+
+use crate::{TaskId, TaskTypeId};
+use serde::{Deserialize, Serialize};
+use taskdrop_pmf::Tick;
+
+/// A *task type* — a category of work with a characteristic execution-time
+/// distribution per machine type (e.g. one SPECint benchmark, or one video
+/// transcoding operation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskType {
+    /// Identifier; also the row index in the PET matrix.
+    pub id: TaskTypeId,
+    /// Human-readable name (e.g. `"mcf"`, `"change-resolution"`).
+    pub name: String,
+    /// Mean execution time across machine types, in ticks. Used for the
+    /// deadline formula of the paper: `δ_i = arr_i + avg_i + γ·avg_all`.
+    pub mean_exec: f64,
+}
+
+/// One task instance flowing through the system.
+///
+/// Tasks are independent and sequential, with an individual **hard
+/// deadline**: completing at or after `deadline` has no value (the paper's
+/// live video-streaming motivation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique identifier (also encodes arrival order).
+    pub id: TaskId,
+    /// The task's type (PET matrix row).
+    pub type_id: TaskTypeId,
+    /// Arrival tick.
+    pub arrival: Tick,
+    /// Hard deadline tick; the task must complete *strictly before* this.
+    pub deadline: Tick,
+}
+
+impl Task {
+    /// Creates a task, checking that the deadline is after the arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline <= arrival` (every task must be individually
+    /// feasible, per the paper's workload construction).
+    #[must_use]
+    pub fn new(id: TaskId, type_id: TaskTypeId, arrival: Tick, deadline: Tick) -> Self {
+        assert!(deadline > arrival, "task {id}: deadline {deadline} <= arrival {arrival}");
+        Task { id, type_id, arrival, deadline }
+    }
+
+    /// Slack between arrival and deadline.
+    #[must_use]
+    pub fn slack(&self) -> Tick {
+        self.deadline - self.arrival
+    }
+
+    /// Whether the task can no longer *begin* execution before its deadline
+    /// at time `now` — the reactive-drop rule of the paper's Equation (1)
+    /// (`k ≥ δᵢ` branch). The engine drops expired tasks at every mapping
+    /// event and whenever one reaches the head of a machine queue.
+    #[must_use]
+    pub fn expired(&self, now: Tick) -> bool {
+        now >= self.deadline
+    }
+
+    /// Whether the task cannot complete strictly before its deadline even
+    /// with a minimal (1-tick) execution. One tick sharper than
+    /// [`Task::expired`]: a task started at `deadline - 1` is allowed to run
+    /// under Eq (1) but is already hopeless.
+    #[must_use]
+    pub fn hopeless(&self, now: Tick) -> bool {
+        now + 1 >= self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(arrival: Tick, deadline: Tick) -> Task {
+        Task::new(TaskId(1), TaskTypeId(0), arrival, deadline)
+    }
+
+    #[test]
+    fn slack_is_deadline_minus_arrival() {
+        assert_eq!(t(10, 25).slack(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn rejects_deadline_at_arrival() {
+        let _ = t(10, 10);
+    }
+
+    #[test]
+    fn expiry_follows_eq1_start_rule() {
+        let task = t(0, 10);
+        // Eq (1): a task may start at any k < deadline.
+        assert!(!task.expired(8));
+        assert!(!task.expired(9));
+        assert!(task.expired(10));
+        assert!(task.expired(11));
+    }
+
+    #[test]
+    fn hopeless_is_one_tick_sharper() {
+        let task = t(0, 10);
+        // At now=8 a 1-tick execution completes at 9 < 10: still feasible.
+        assert!(!task.hopeless(8));
+        // At now=9 the best case completes at 10, which is not < 10.
+        assert!(task.hopeless(9));
+        assert!(!task.expired(9), "expired still allows the doomed 1-tick start");
+    }
+}

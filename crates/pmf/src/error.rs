@@ -1,0 +1,41 @@
+use std::fmt;
+
+/// Errors produced when constructing or validating a [`crate::Pmf`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmfError {
+    /// An impulse probability was negative.
+    NegativeProbability {
+        /// Time tick of the offending impulse.
+        tick: crate::Tick,
+        /// The negative probability value.
+        prob: crate::Prob,
+    },
+    /// An impulse probability was NaN or infinite.
+    NonFiniteProbability {
+        /// Time tick of the offending impulse.
+        tick: crate::Tick,
+    },
+    /// Total probability mass exceeds one beyond tolerance.
+    MassExceedsOne {
+        /// The offending total mass.
+        total: f64,
+    },
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::NegativeProbability { tick, prob } => {
+                write!(f, "negative probability {prob} at tick {tick}")
+            }
+            PmfError::NonFiniteProbability { tick } => {
+                write!(f, "non-finite probability at tick {tick}")
+            }
+            PmfError::MassExceedsOne { total } => {
+                write!(f, "total probability mass {total} exceeds 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}

@@ -1,0 +1,84 @@
+//! Moments of a PMF: mean, variance, standard deviation.
+//!
+//! For sub-distributions (total mass `< 1`) the moments are those of the
+//! *conditional* distribution — mass-weighted averages divided by the total
+//! mass — which is what scheduling heuristics need when a completion PMF has
+//! been pruned.
+
+use crate::pmf::Pmf;
+
+impl Pmf {
+    /// Mass-weighted mean tick. `None` for the empty PMF.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total_mass();
+        if total == 0.0 {
+            return None;
+        }
+        let s: f64 = self.impulses.iter().map(|i| i.t as f64 * i.p).sum();
+        Some(s / total)
+    }
+
+    /// Conditional variance. `None` for the empty PMF.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let total = self.total_mass();
+        let s: f64 = self
+            .impulses
+            .iter()
+            .map(|i| {
+                let d = i.t as f64 - mean;
+                d * d * i.p
+            })
+            .sum();
+        Some(s / total)
+    }
+
+    /// Conditional standard deviation. `None` for the empty PMF.
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass_moments() {
+        let p = Pmf::point(42);
+        assert_eq!(p.mean(), Some(42.0));
+        assert_eq!(p.variance(), Some(0.0));
+        assert_eq!(p.std_dev(), Some(0.0));
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let p = Pmf::uniform(0, 10);
+        assert!((p.mean().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_like_variance() {
+        // Mass 0.5 at 0 and 0.5 at 2: mean 1, variance 1.
+        let p = Pmf::from_impulses(vec![(0, 0.5), (2, 0.5)]).unwrap();
+        assert!((p.mean().unwrap() - 1.0).abs() < 1e-12);
+        assert!((p.variance().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subdistribution_uses_conditional_mean() {
+        let p = Pmf::point(10).scale_mass(0.25);
+        assert_eq!(p.mean(), Some(10.0));
+    }
+
+    #[test]
+    fn empty_moments_are_none() {
+        let e = Pmf::empty();
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.variance(), None);
+        assert_eq!(e.std_dev(), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the PMF toolkit.
+
+use proptest::prelude::*;
+use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
+
+const EPS: f64 = 1e-9;
+
+/// Strategy: a normalised PMF with 1..=12 impulses on ticks 0..=500.
+fn arb_pmf() -> impl Strategy<Value = Pmf> {
+    prop::collection::vec((0u64..=500, 1u32..=1000), 1..=12).prop_map(|pairs| {
+        let weights: Vec<(Tick, f64)> = pairs.into_iter().map(|(t, w)| (t, w as f64)).collect();
+        Pmf::from_weights(weights).expect("positive weights")
+    })
+}
+
+/// Strategy: a sub-normalised PMF (mass in (0, 1]).
+fn arb_sub_pmf() -> impl Strategy<Value = Pmf> {
+    (arb_pmf(), 1u32..=100).prop_map(|(p, pct)| p.scale_mass(pct as f64 / 100.0))
+}
+
+proptest! {
+    #[test]
+    fn construction_invariants(p in arb_pmf()) {
+        let pairs = p.to_pairs();
+        // Sorted, unique ticks; positive masses.
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        for &(_, mass) in &pairs {
+            prop_assert!(mass > 0.0);
+        }
+        prop_assert!((p.total_mass() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn convolution_mass_is_product(a in arb_sub_pmf(), b in arb_sub_pmf()) {
+        let c = a.convolve(&b);
+        prop_assert!((c.total_mass() - a.total_mass() * b.total_mass()).abs() < EPS);
+    }
+
+    #[test]
+    fn convolution_mean_additive(a in arb_pmf(), b in arb_pmf()) {
+        let c = a.convolve(&b);
+        let expect = a.mean().unwrap() + b.mean().unwrap();
+        prop_assert!((c.mean().unwrap() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolution_commutative(a in arb_pmf(), b in arb_pmf()) {
+        let ab = a.convolve(&b);
+        let ba = b.convolve(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(ba.iter()) {
+            prop_assert_eq!(x.t, y.t);
+            prop_assert!((x.p - y.p).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn convolution_support_bounds(a in arb_pmf(), b in arb_pmf()) {
+        let c = a.convolve(&b);
+        prop_assert_eq!(c.support_min(), Some(a.support_min().unwrap() + b.support_min().unwrap()));
+        prop_assert_eq!(c.support_max(), Some(a.support_max().unwrap() + b.support_max().unwrap()));
+    }
+
+    #[test]
+    fn deadline_convolve_conserves_mass(prev in arb_pmf(), exec in arb_pmf(), d in 0u64..=1200) {
+        let c = deadline_convolve(&prev, &exec, d);
+        prop_assert!((c.total_mass() - 1.0).abs() < EPS);
+    }
+
+    /// With an infinitely late deadline, Eq (1) degenerates to plain convolution.
+    #[test]
+    fn deadline_convolve_late_deadline_is_convolution(prev in arb_pmf(), exec in arb_pmf()) {
+        let c = deadline_convolve(&prev, &exec, u64::MAX);
+        let plain = prev.convolve(&exec);
+        prop_assert_eq!(c.len(), plain.len());
+        for (x, y) in c.iter().zip(plain.iter()) {
+            prop_assert_eq!(x.t, y.t);
+            prop_assert!((x.p - y.p).abs() < EPS);
+        }
+    }
+
+    /// With deadline 0 nothing can ever start: pass-through identity.
+    #[test]
+    fn deadline_convolve_zero_deadline_is_identity(prev in arb_pmf(), exec in arb_pmf()) {
+        let c = deadline_convolve(&prev, &exec, 0);
+        prop_assert_eq!(c, prev);
+    }
+
+    /// Chance of success is monotone non-decreasing in the deadline.
+    #[test]
+    fn chance_monotone_in_deadline(prev in arb_pmf(), exec in arb_pmf(), d in 0u64..=1100) {
+        let c1 = deadline_convolve(&prev, &exec, d);
+        let c2 = deadline_convolve(&prev, &exec, d + 25);
+        prop_assert!(chance_of_success(&c2, d + 25) + EPS >= chance_of_success(&c1, d));
+    }
+
+    /// The completion PMF produced by Eq (1) stochastically dominates the
+    /// predecessor: the slot can never free up *earlier* than the predecessor
+    /// finished. (Key lemma behind "dropping never hurts the influence zone".)
+    #[test]
+    fn completion_dominates_predecessor(prev in arb_pmf(), exec in arb_pmf(), d in 0u64..=1100) {
+        let c = deadline_convolve(&prev, &exec, d);
+        for t in [0u64, 50, 100, 250, 500, 750, 1000, 1500] {
+            // P(C < t) <= P(prev < t): completion is stochastically later.
+            prop_assert!(c.mass_before(t) <= prev.mass_before(t) + EPS);
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_mass(p in arb_pmf(), max in 2usize..=32) {
+        let c = Compaction::MaxImpulses(max).apply(&p);
+        prop_assert!((c.total_mass() - p.total_mass()).abs() < EPS);
+        prop_assert!(c.len() <= max.max(p.len().min(max)));
+    }
+
+    #[test]
+    fn compaction_bounds_mean_error(p in arb_pmf(), max in 2usize..=32) {
+        let c = Compaction::MaxImpulses(max).apply(&p);
+        let span = (p.support_max().unwrap() - p.support_min().unwrap() + 1) as f64;
+        let width = (span / max as f64).ceil();
+        // Mass-weighted mean moves at most one bin width (rounding inclusive).
+        let err = (c.mean().unwrap() - p.mean().unwrap()).abs();
+        prop_assert!(err <= width + 0.5, "err {err} > width {width}");
+    }
+
+    #[test]
+    fn compaction_keeps_support_window(p in arb_pmf(), max in 2usize..=32) {
+        let c = Compaction::MaxImpulses(max).apply(&p);
+        prop_assert!(c.support_min().unwrap() >= p.support_min().unwrap());
+        prop_assert!(c.support_max().unwrap() <= p.support_max().unwrap());
+    }
+
+    #[test]
+    fn condition_at_least_is_normalized(p in arb_pmf(), t in 0u64..=600) {
+        if let Some(c) = p.condition_at_least(t) {
+            prop_assert!((c.total_mass() - 1.0).abs() < EPS);
+            prop_assert!(c.support_min().unwrap() >= t);
+        } else {
+            prop_assert!(p.mass_at_or_after(t) <= 0.0 + EPS);
+        }
+    }
+
+    #[test]
+    fn quantile_is_consistent_with_cdf(p in arb_pmf(), q in 0.0f64..=1.0) {
+        let t = p.quantile(q).unwrap();
+        prop_assert!(p.cdf(t) + EPS >= q * p.total_mass());
+    }
+
+    #[test]
+    fn shift_preserves_shape(p in arb_pmf(), delta in 0u64..=1000) {
+        let s = p.shift(delta);
+        prop_assert_eq!(s.len(), p.len());
+        prop_assert!((s.total_mass() - p.total_mass()).abs() < EPS);
+        prop_assert!((s.mean().unwrap() - p.mean().unwrap() - delta as f64).abs() < 1e-6);
+    }
+}

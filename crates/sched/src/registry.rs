@@ -1,0 +1,120 @@
+//! Name-based construction of mapping heuristics, for configs and CLIs.
+
+use crate::{Edf, Fcfs, MappingHeuristic, MaxMin, MinMin, Msd, Pam, Sjf, Sufferage};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Enumerates the built-in mapping heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicKind {
+    /// MinCompletion–MinCompletion.
+    MinMin,
+    /// MinCompletion–MaxCompletion (extension; not in the paper).
+    MaxMin,
+    /// MinCompletion–Soonest-Deadline.
+    Msd,
+    /// Pruning-Aware Mapping (deferring disabled).
+    Pam,
+    /// Sufferage (extension; not in the paper).
+    Sufferage,
+    /// First come, first serve.
+    Fcfs,
+    /// Earliest deadline first.
+    Edf,
+    /// Shortest job first.
+    Sjf,
+}
+
+impl HeuristicKind {
+    /// All built-in heuristics: the paper's six first, then the extensions.
+    pub const ALL: [HeuristicKind; 8] = [
+        HeuristicKind::Msd,
+        HeuristicKind::MinMin,
+        HeuristicKind::Pam,
+        HeuristicKind::Fcfs,
+        HeuristicKind::Edf,
+        HeuristicKind::Sjf,
+        HeuristicKind::MaxMin,
+        HeuristicKind::Sufferage,
+    ];
+
+    /// Instantiates the heuristic.
+    #[must_use]
+    pub fn build(self) -> Box<dyn MappingHeuristic> {
+        match self {
+            HeuristicKind::MinMin => Box::new(MinMin),
+            HeuristicKind::MaxMin => Box::new(MaxMin),
+            HeuristicKind::Msd => Box::new(Msd),
+            HeuristicKind::Pam => Box::new(Pam),
+            HeuristicKind::Sufferage => Box::new(Sufferage),
+            HeuristicKind::Fcfs => Box::new(Fcfs),
+            HeuristicKind::Edf => Box::new(Edf),
+            HeuristicKind::Sjf => Box::new(Sjf),
+        }
+    }
+
+    /// The stable display name (matches `MappingHeuristic::name`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HeuristicKind::MinMin => "MM",
+            HeuristicKind::MaxMin => "MaxMin",
+            HeuristicKind::Msd => "MSD",
+            HeuristicKind::Pam => "PAM",
+            HeuristicKind::Sufferage => "Sufferage",
+            HeuristicKind::Fcfs => "FCFS",
+            HeuristicKind::Edf => "EDF",
+            HeuristicKind::Sjf => "SJF",
+        }
+    }
+}
+
+impl fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for HeuristicKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "MM" | "MINMIN" => Ok(HeuristicKind::MinMin),
+            "MAXMIN" => Ok(HeuristicKind::MaxMin),
+            "MSD" => Ok(HeuristicKind::Msd),
+            "PAM" => Ok(HeuristicKind::Pam),
+            "SUFFERAGE" => Ok(HeuristicKind::Sufferage),
+            "FCFS" => Ok(HeuristicKind::Fcfs),
+            "EDF" => Ok(HeuristicKind::Edf),
+            "SJF" => Ok(HeuristicKind::Sjf),
+            other => Err(format!("unknown mapping heuristic: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_name_parse() {
+        for kind in HeuristicKind::ALL {
+            let parsed: HeuristicKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("minmin".parse::<HeuristicKind>().unwrap(), HeuristicKind::MinMin);
+        assert_eq!("pam".parse::<HeuristicKind>().unwrap(), HeuristicKind::Pam);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("nope".parse::<HeuristicKind>().is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use taskdrop_core::{
+    DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly, ThresholdDropper,
+};
+use taskdrop_pmf::Compaction;
+
+/// Machine failure injection (the paper's future-work "resource failure"
+/// compound uncertainty, built as an extension — see DESIGN.md §7).
+///
+/// Each machine independently alternates between up and down periods with
+/// exponentially distributed durations. A failure kills the running task
+/// (it is lost); queued tasks stay mapped (the system model forbids
+/// remapping) and age towards their deadlines while the machine is repaired.
+/// Schedulers are *not* told about failures — they are one more source of
+/// uncertainty perturbing the PET-based estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Mean time between failures per machine, in ticks (exponential).
+    pub mtbf: u64,
+    /// Mean repair duration, in ticks (exponential).
+    pub mttr: u64,
+}
+
+impl FailureSpec {
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    pub fn validate(&self) {
+        assert!(self.mtbf > 0, "MTBF must be positive");
+        assert!(self.mttr > 0, "MTTR must be positive");
+    }
+
+    /// Steady-state availability `mtbf / (mtbf + mttr)`.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.mtbf as f64 / (self.mtbf + self.mttr) as f64
+    }
+}
+
+/// Engine configuration knobs (the paper's Section V-A setup).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Machine-queue capacity *including* the running task (paper: 6).
+    pub queue_size: usize,
+    /// PMF compaction policy used for all completion-time chains.
+    pub compaction: Compaction,
+    /// Number of tasks excluded from metrics at each end of the trial
+    /// (paper: first and last 100).
+    pub exclude_boundary: usize,
+    /// Reactively kill the *running* task the moment its deadline passes
+    /// (the paper's live-video model: "there is no value in executing tasks
+    /// that have missed their deadlines and such tasks should be dropped to
+    /// maintain liveness"). Disable for the ablation where started tasks
+    /// always run to completion and late finishes waste capacity.
+    #[serde(default = "default_true")]
+    pub kill_running_at_deadline: bool,
+    /// Optional machine failure injection.
+    #[serde(default)]
+    pub failures: Option<FailureSpec>,
+    /// Optional approximate computing (degrade instead of drop); see
+    /// [`taskdrop_model::approx`].
+    #[serde(default)]
+    pub approx: Option<taskdrop_model::ApproxSpec>,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queue_size: 6,
+            compaction: Compaction::default(),
+            exclude_boundary: 100,
+            kill_running_at_deadline: true,
+            failures: None,
+            approx: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates invariants (queue size at least 1, failure spec sane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_size == 0` or the failure spec is degenerate.
+    pub fn validate(&self) {
+        assert!(self.queue_size >= 1, "queue size must be at least 1");
+        if let Some(f) = &self.failures {
+            f.validate();
+        }
+    }
+}
+
+/// Serializable constructor for dropping policies, so experiment configs can
+/// name them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DropperKind {
+    /// No proactive dropping (reactive only).
+    ReactiveOnly,
+    /// The approximate-computing extension: degrade to a cheaper variant
+    /// when that salvages more utility than dropping (requires
+    /// `SimConfig::approx` to be set for degradation to engage).
+    Approx {
+        /// Robustness improvement factor (≥ 1).
+        beta: f64,
+        /// Effective depth (≥ 1).
+        eta: usize,
+    },
+    /// The paper's proactive heuristic with parameters β and η.
+    Heuristic {
+        /// Robustness improvement factor (≥ 1).
+        beta: f64,
+        /// Effective depth (≥ 1).
+        eta: usize,
+    },
+    /// The paper's optimal subset search.
+    Optimal,
+    /// The prior-work threshold baseline with its base threshold.
+    Threshold {
+        /// Base chance-of-success threshold in `[0, 1]`.
+        base: f64,
+    },
+}
+
+impl DropperKind {
+    /// The paper-default heuristic (β = 1, η = 2).
+    #[must_use]
+    pub fn heuristic_default() -> Self {
+        DropperKind::Heuristic { beta: 1.0, eta: 2 }
+    }
+
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn DropPolicy> {
+        match *self {
+            DropperKind::ReactiveOnly => Box::new(ReactiveOnly),
+            DropperKind::Approx { beta, eta } => {
+                Box::new(taskdrop_core::ApproxDropper::new(beta, eta))
+            }
+            DropperKind::Heuristic { beta, eta } => Box::new(ProactiveDropper::new(beta, eta)),
+            DropperKind::Optimal => Box::new(OptimalDropper::new()),
+            DropperKind::Threshold { base } => Box::new(ThresholdDropper::new(base)),
+        }
+    }
+
+    /// Display label used in figures (matches the paper's legends).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropperKind::ReactiveOnly => "ReactDrop",
+            DropperKind::Approx { .. } => "Approx",
+            DropperKind::Heuristic { .. } => "Heuristic",
+            DropperKind::Optimal => "Optimal",
+            DropperKind::Threshold { .. } => "Threshold",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.queue_size, 6);
+        assert_eq!(c.exclude_boundary, 100);
+        c.validate();
+    }
+
+    #[test]
+    fn dropper_kinds_build_expected_policies() {
+        assert_eq!(DropperKind::ReactiveOnly.build().name(), "ReactDrop");
+        assert_eq!(DropperKind::heuristic_default().build().name(), "Heuristic");
+        assert_eq!(DropperKind::Optimal.build().name(), "Optimal");
+        assert_eq!(DropperKind::Threshold { base: 0.25 }.build().name(), "Threshold");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = DropperKind::Heuristic { beta: 1.5, eta: 3 };
+        let json = serde_json::to_string(&k).unwrap();
+        let back: DropperKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(k, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue size")]
+    fn zero_queue_rejected() {
+        SimConfig { queue_size: 0, ..SimConfig::default() }.validate();
+    }
+}

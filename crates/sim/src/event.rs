@@ -1,0 +1,148 @@
+//! The discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use taskdrop_model::MachineId;
+use taskdrop_pmf::Tick;
+
+/// An engine event.
+///
+/// `Completion` and `DeadlineKill` carry the machine's *epoch* — a counter
+/// incremented every time a new task starts — so events belonging to an
+/// already-finished or killed task are recognised as stale and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Task `workload_index` arrives.
+    Arrival(usize),
+    /// The task started in this epoch on this machine completes.
+    Completion(MachineId, u64),
+    /// The task started in this epoch reaches its deadline while running
+    /// and is reactively killed (no value in finishing late).
+    DeadlineKill(MachineId, u64),
+    /// The machine fails: its running task is lost, its queue freezes.
+    MachineFailure(MachineId),
+    /// The machine comes back from repair.
+    MachineRepair(MachineId),
+}
+
+/// Min-heap of `(time, seq, event)`. The monotone sequence number makes
+/// ordering total and FIFO among equal timestamps, keeping the engine
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Tick, u64, EventKey)>>,
+    seq: u64,
+}
+
+/// Orderable encoding of [`Event`] (derives `Ord` cheaply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKey {
+    Arrival(usize),
+    Completion(u16, u64),
+    DeadlineKill(u16, u64),
+    MachineFailure(u16),
+    MachineRepair(u16),
+}
+
+impl From<Event> for EventKey {
+    fn from(e: Event) -> Self {
+        match e {
+            Event::Arrival(i) => EventKey::Arrival(i),
+            Event::Completion(m, ep) => EventKey::Completion(m.0, ep),
+            Event::DeadlineKill(m, ep) => EventKey::DeadlineKill(m.0, ep),
+            Event::MachineFailure(m) => EventKey::MachineFailure(m.0),
+            Event::MachineRepair(m) => EventKey::MachineRepair(m.0),
+        }
+    }
+}
+
+impl From<EventKey> for Event {
+    fn from(k: EventKey) -> Self {
+        match k {
+            EventKey::Arrival(i) => Event::Arrival(i),
+            EventKey::Completion(m, ep) => Event::Completion(MachineId(m), ep),
+            EventKey::DeadlineKill(m, ep) => Event::DeadlineKill(MachineId(m), ep),
+            EventKey::MachineFailure(m) => Event::MachineFailure(MachineId(m)),
+            EventKey::MachineRepair(m) => Event::MachineRepair(MachineId(m)),
+        }
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Tick, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, event.into())));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Tick, Event)> {
+        self.heap.pop().map(|Reverse((t, _, k))| (t, k.into()))
+    }
+
+    /// Time of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Tick> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of outstanding events.
+    #[must_use]
+    #[allow(dead_code)] // exercised by tests; kept for API symmetry
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    #[must_use]
+    #[allow(dead_code)] // exercised by tests; kept for API symmetry
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Arrival(2));
+        q.push(10, Event::Arrival(0));
+        q.push(20, Event::Completion(MachineId(1), 4));
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, Event::Arrival(0))));
+        assert_eq!(q.pop(), Some((20, Event::Completion(MachineId(1), 4))));
+        assert_eq!(q.pop(), Some((30, Event::Arrival(2))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Arrival(7));
+        q.push(5, Event::DeadlineKill(MachineId(0), 1));
+        q.push(5, Event::Arrival(8));
+        assert_eq!(q.pop(), Some((5, Event::Arrival(7))));
+        assert_eq!(q.pop(), Some((5, Event::DeadlineKill(MachineId(0), 1))));
+        assert_eq!(q.pop(), Some((5, Event::Arrival(8))));
+    }
+
+    #[test]
+    fn len_tracks_pushes() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Event::Arrival(0));
+        q.push(2, Event::Arrival(1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

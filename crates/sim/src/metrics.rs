@@ -1,0 +1,177 @@
+//! Per-trial metrics: task fates, robustness, drop breakdown, cost.
+
+use serde::{Deserialize, Serialize};
+use taskdrop_pmf::Tick;
+
+/// What ultimately happened to a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskFate {
+    /// Completed strictly before its deadline.
+    OnTime,
+    /// Completed strictly before its deadline in *approximate* (degraded)
+    /// mode, yielding partial value (the future-work extension).
+    OnTimeApprox,
+    /// Ran to completion but finished at or after its deadline.
+    Late,
+    /// Reactively dropped: its deadline passed while it waited (batch queue,
+    /// machine queue, or at the moment it would have started), or it was
+    /// killed at its deadline while running.
+    DroppedReactive,
+    /// Proactively dropped by the dropping policy.
+    DroppedProactive,
+    /// Lost when its machine failed mid-execution (failure injection).
+    LostToFailure,
+}
+
+/// Metrics of one simulation trial.
+///
+/// The *counted window* excludes the first and last `exclude_boundary` tasks
+/// (by arrival order), per the paper's Section V-A; whole-trial totals are
+/// kept as well for conservation checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Total tasks in the workload.
+    pub total_tasks: usize,
+    /// Tasks inside the counted window.
+    pub counted_tasks: usize,
+    /// Counted tasks completing strictly before their deadlines at full
+    /// fidelity.
+    pub on_time: usize,
+    /// Counted tasks completing on time in approximate (degraded) mode.
+    #[serde(default)]
+    pub on_time_approx: usize,
+    /// Relative value of an approximate completion (from the config; 0 when
+    /// approximate computing is disabled).
+    #[serde(default)]
+    pub approx_value: f64,
+    /// Counted tasks that ran but finished late.
+    pub late: usize,
+    /// Counted tasks dropped reactively.
+    pub dropped_reactive: usize,
+    /// Counted tasks dropped proactively.
+    pub dropped_proactive: usize,
+    /// Counted tasks lost to machine failures (0 unless failure injection
+    /// is enabled).
+    #[serde(default)]
+    pub lost_to_failure: usize,
+    /// Whole-trial busy time per machine, in ticks.
+    pub busy_ticks: Vec<u64>,
+    /// Whole-trial dollar cost of busy time (AWS-style hourly prices).
+    pub cost_dollars: f64,
+    /// Tick at which the system drained back to idle.
+    pub makespan: Tick,
+    /// Number of mapping events processed.
+    pub mapping_events: u64,
+}
+
+impl TrialResult {
+    /// Robustness: percentage of counted tasks completed on time at full
+    /// fidelity (the paper's headline metric; approximate completions do
+    /// not count here).
+    #[must_use]
+    pub fn robustness_pct(&self) -> f64 {
+        if self.counted_tasks == 0 {
+            return 0.0;
+        }
+        100.0 * self.on_time as f64 / self.counted_tasks as f64
+    }
+
+    /// Utility: robustness credit including approximate completions at
+    /// their partial value — `(full + value · approx) / counted × 100`.
+    /// Equals [`TrialResult::robustness_pct`] when approximate computing is
+    /// disabled.
+    #[must_use]
+    pub fn utility_pct(&self) -> f64 {
+        if self.counted_tasks == 0 {
+            return 0.0;
+        }
+        100.0 * (self.on_time as f64 + self.approx_value * self.on_time_approx as f64)
+            / self.counted_tasks as f64
+    }
+
+    /// Fraction of all drops that were reactive (the paper reports ≈7 %
+    /// under the proactive heuristic).
+    #[must_use]
+    pub fn reactive_drop_fraction(&self) -> Option<f64> {
+        let total = self.dropped_reactive + self.dropped_proactive;
+        (total > 0).then(|| self.dropped_reactive as f64 / total as f64)
+    }
+
+    /// Incurred cost divided by robustness percentage — the normalised cost
+    /// metric of the paper's Figure 9.
+    #[must_use]
+    pub fn cost_per_robustness(&self) -> f64 {
+        let r = self.robustness_pct();
+        if r == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cost_dollars / r
+        }
+    }
+
+    /// Conservation check: every counted task has exactly one fate.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.on_time
+            + self.on_time_approx
+            + self.late
+            + self.dropped_reactive
+            + self.dropped_proactive
+            + self.lost_to_failure
+            == self.counted_tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrialResult {
+        TrialResult {
+            total_tasks: 1200,
+            counted_tasks: 1000,
+            on_time: 400,
+            on_time_approx: 0,
+            approx_value: 0.0,
+            late: 100,
+            dropped_reactive: 50,
+            dropped_proactive: 450,
+            lost_to_failure: 0,
+            busy_ticks: vec![1000, 2000],
+            cost_dollars: 2.0,
+            makespan: 90_000,
+            mapping_events: 2400,
+        }
+    }
+
+    #[test]
+    fn robustness_is_on_time_share() {
+        assert!((sample().robustness_pct() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reactive_fraction() {
+        assert!((sample().reactive_drop_fraction().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_per_robustness_normalises() {
+        assert!((sample().cost_per_robustness() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_detects_mismatch() {
+        let mut r = sample();
+        assert!(r.is_conserved());
+        r.on_time += 1;
+        assert!(!r.is_conserved());
+    }
+
+    #[test]
+    fn zero_counted_is_zero_robustness() {
+        let mut r = sample();
+        r.counted_tasks = 0;
+        assert_eq!(r.robustness_pct(), 0.0);
+        assert!(r.cost_per_robustness().is_infinite());
+    }
+}

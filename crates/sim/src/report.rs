@@ -1,0 +1,120 @@
+//! Aggregation of repeated trials into the paper's reporting format:
+//! mean ± 95 % confidence interval.
+
+use crate::metrics::TrialResult;
+use serde::{Deserialize, Serialize};
+use taskdrop_stats::Summary;
+
+/// Results of one experimental configuration across trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scenario name (e.g. `"specint"`).
+    pub scenario: String,
+    /// Oversubscription level label (e.g. `"30k"`).
+    pub level: String,
+    /// Mapping heuristic name (e.g. `"PAM"`).
+    pub mapper: String,
+    /// Dropping policy label (e.g. `"Heuristic"`).
+    pub dropper: String,
+    /// Per-trial results, in trial order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl SimReport {
+    /// Figure-legend style label, e.g. `"PAM+Heuristic"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.mapper, self.dropper)
+    }
+
+    /// Robustness (% tasks completed on time): mean ± CI over trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no trials.
+    #[must_use]
+    pub fn robustness(&self) -> Summary {
+        Summary::of(&self.trials.iter().map(TrialResult::robustness_pct).collect::<Vec<_>>())
+    }
+
+    /// Normalised cost (dollars per robustness point, Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no trials.
+    #[must_use]
+    pub fn cost_per_robustness(&self) -> Summary {
+        Summary::of(
+            &self.trials.iter().map(TrialResult::cost_per_robustness).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Fraction of drops that were reactive, over trials that dropped
+    /// anything (`None` when no trial dropped).
+    #[must_use]
+    pub fn reactive_drop_fraction(&self) -> Option<Summary> {
+        let vals: Vec<f64> =
+            self.trials.iter().filter_map(TrialResult::reactive_drop_fraction).collect();
+        (!vals.is_empty()).then(|| Summary::of(&vals))
+    }
+
+    /// Mean dollar cost per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no trials.
+    #[must_use]
+    pub fn cost_dollars(&self) -> Summary {
+        Summary::of(&self.trials.iter().map(|t| t.cost_dollars).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(on_time: usize) -> TrialResult {
+        TrialResult {
+            total_tasks: 100,
+            counted_tasks: 100,
+            on_time,
+            on_time_approx: 0,
+            approx_value: 0.0,
+            late: 10,
+            dropped_reactive: 20,
+            dropped_proactive: 100 - on_time - 10 - 20,
+            lost_to_failure: 0,
+            busy_ticks: vec![100],
+            cost_dollars: 1.0,
+            makespan: 1000,
+            mapping_events: 200,
+        }
+    }
+
+    #[test]
+    fn label_concatenates() {
+        let r = SimReport {
+            scenario: "specint".into(),
+            level: "30k".into(),
+            mapper: "PAM".into(),
+            dropper: "Heuristic".into(),
+            trials: vec![trial(40)],
+        };
+        assert_eq!(r.label(), "PAM+Heuristic");
+    }
+
+    #[test]
+    fn robustness_summary_over_trials() {
+        let r = SimReport {
+            scenario: "s".into(),
+            level: "l".into(),
+            mapper: "MM".into(),
+            dropper: "ReactDrop".into(),
+            trials: vec![trial(30), trial(40), trial(50)],
+        };
+        let s = r.robustness();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 40.0).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+    }
+}

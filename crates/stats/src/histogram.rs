@@ -1,0 +1,160 @@
+//! Histogram discretisation of continuous samples into integer-tick impulses.
+//!
+//! The paper: *"Once the sample execution times were generated, we applied a
+//! histogram to discretize the result and produce PMFs."* This module turns a
+//! batch of positive samples (milliseconds as `f64`) into `(tick, mass)`
+//! pairs ready to become a `Pmf`. It deliberately does **not** depend on the
+//! `taskdrop-pmf` crate — the caller constructs the PMF — so the stats crate
+//! stays reusable.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over positive samples, with equal-width bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    lo: f64,
+    /// Bin width (> 0).
+    width: f64,
+    /// Sample count per bin.
+    counts: Vec<u64>,
+    /// Total number of samples.
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the sample
+    /// range. Non-finite samples are rejected; all samples must be `>= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `samples` is empty, or any sample is negative
+    /// or non-finite.
+    #[must_use]
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(!samples.is_empty(), "histogram needs at least one sample");
+        assert!(
+            samples.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "samples must be finite and non-negative"
+        );
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(f64::EPSILON);
+        let width = span / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for &s in samples {
+            let mut idx = ((s - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1; // s == hi lands in the last bin
+            }
+            counts[idx] += 1;
+        }
+        Histogram { lo, width, counts, total: samples.len() as u64 }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i` (as a float).
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// Converts to `(tick, mass)` pairs: each non-empty bin becomes one
+    /// impulse at its rounded center (clamped to at least `min_tick`), with
+    /// mass `count / total`. Pairs whose centers round to the same tick are
+    /// emitted as-is; `Pmf::from_impulses` coalesces them.
+    #[must_use]
+    pub fn to_mass_pairs(&self, min_tick: u64) -> Vec<(u64, f64)> {
+        let total = self.total as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let center = self.bin_center(i).round().max(min_tick as f64) as u64;
+                (center, c as f64 / total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_mass_sum() {
+        let samples = vec![1.0, 2.0, 2.5, 3.0, 10.0];
+        let h = Histogram::from_samples(&samples, 4);
+        assert_eq!(h.total(), 5);
+        let pairs = h.to_mass_pairs(1);
+        let mass: f64 = pairs.iter().map(|&(_, m)| m).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_sample_lands_in_last_bin() {
+        let samples = vec![0.0, 10.0];
+        let h = Histogram::from_samples(&samples, 5);
+        assert_eq!(h.bins(), 5);
+        let pairs = h.to_mass_pairs(0);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, 1); // center of [0,2) = 1
+        assert_eq!(pairs[1].0, 9); // center of [8,10] = 9
+    }
+
+    #[test]
+    fn identical_samples_single_impulse() {
+        let samples = vec![7.3; 100];
+        let h = Histogram::from_samples(&samples, 10);
+        let pairs = h.to_mass_pairs(1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 7);
+        assert!((pairs[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_tick_clamps_small_centers() {
+        let samples = vec![0.0, 0.1, 0.2];
+        let h = Histogram::from_samples(&samples, 2);
+        let pairs = h.to_mass_pairs(1);
+        assert!(pairs.iter().all(|&(t, _)| t >= 1));
+    }
+
+    #[test]
+    fn mean_preserved_approximately() {
+        // Uniform-ish spread: histogram mean should track the sample mean
+        // within a bin width.
+        let samples: Vec<f64> = (0..1000).map(|i| 50.0 + (i % 100) as f64).collect();
+        let h = Histogram::from_samples(&samples, 25);
+        let pairs = h.to_mass_pairs(1);
+        let hist_mean: f64 = pairs.iter().map(|&(t, m)| t as f64 * m).sum();
+        let sample_mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let width = 100.0 / 25.0;
+        assert!((hist_mean - sample_mean).abs() < width, "{hist_mean} vs {sample_mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty() {
+        let _ = Histogram::from_samples(&[], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = Histogram::from_samples(&[-1.0], 4);
+    }
+}

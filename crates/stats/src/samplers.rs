@@ -1,0 +1,256 @@
+//! Distribution samplers built directly on `rand`'s uniform source.
+//!
+//! The `rand_distr` crate is outside the approved dependency set, so the
+//! classic algorithms are implemented here: Box–Muller for the Normal
+//! distribution and Marsaglia–Tsang ("a simple method for generating gamma
+//! variables", 2000) for the Gamma distribution. Both are exact samplers,
+//! not approximations.
+
+use rand::Rng;
+
+/// Standard-normal sampler via the Box–Muller transform.
+///
+/// Stateless: each call draws two uniforms and returns one variate. (The
+/// second Box–Muller variate is discarded to keep the sampler allocation-
+/// and state-free; the uniform draws are cheap relative to the simulator.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalSampler;
+
+impl NormalSampler {
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.sample(rng)
+    }
+}
+
+/// Gamma sampler (shape `k`, scale `theta`) using Marsaglia–Tsang.
+///
+/// Mean is `k * theta`, variance `k * theta^2`. The paper draws execution
+/// times from Gamma distributions whose mean comes from SPECint measurements
+/// and whose scale parameter is uniform in `[1, 20]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaSampler {
+    shape: f64,
+    scale: f64,
+}
+
+impl GammaSampler {
+    /// Creates a sampler with the given shape `k > 0` and scale `theta > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not finite and positive.
+    #[must_use]
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "gamma shape must be > 0");
+        assert!(scale.is_finite() && scale > 0.0, "gamma scale must be > 0");
+        GammaSampler { shape, scale }
+    }
+
+    /// Creates a sampler from a target mean and scale: `shape = mean / scale`.
+    #[must_use]
+    pub fn from_mean_scale(mean: f64, scale: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "gamma mean must be > 0");
+        GammaSampler::new(mean / scale, scale)
+    }
+
+    /// Distribution mean `k * theta`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Distribution variance `k * theta^2`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Draws one Gamma variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: X ~ Gamma(k+1), return X * U^(1/k).
+            let boosted = GammaSampler { shape: self.shape + 1.0, scale: self.scale };
+            let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let normal = NormalSampler;
+        loop {
+            let x = normal.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2 {
+                return d * v * self.scale;
+            }
+            if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    /// Draws `n` variates into a fresh vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Exponential sampler with rate `lambda` (mean `1 / lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialSampler {
+    rate: f64,
+}
+
+impl ExponentialSampler {
+    /// Creates a sampler with rate `lambda > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "exponential rate must be > 0");
+        ExponentialSampler { rate }
+    }
+
+    /// Distribution mean `1 / lambda`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one exponential variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        -u.ln() / self.rate
+    }
+}
+
+/// Homogeneous Poisson arrival process: arrival *times* with exponential
+/// inter-arrival gaps at `rate` events per tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    exp: ExponentialSampler,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given arrival rate (events per tick).
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        PoissonProcess { exp: ExponentialSampler::new(rate) }
+    }
+
+    /// Generates the first `n` arrival times (ticks, rounded, non-decreasing,
+    /// starting after tick 0).
+    pub fn arrival_ticks<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += self.exp.sample(rng);
+            out.push(t.round() as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::new_rng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = new_rng(1);
+        let n = NormalSampler;
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = new_rng(2);
+        let g = GammaSampler::new(7.5, 12.0);
+        let samples = g.sample_n(&mut rng, 50_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - g.mean()).abs() / g.mean() < 0.02, "mean {mean} vs {}", g.mean());
+        assert!((var - g.variance()).abs() / g.variance() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = new_rng(3);
+        let g = GammaSampler::new(0.5, 4.0);
+        let samples = g.sample_n(&mut rng, 100_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - g.mean()).abs() / g.mean() < 0.03, "mean {mean} vs {}", g.mean());
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_from_mean_scale() {
+        let g = GammaSampler::from_mean_scale(120.0, 10.0);
+        assert!((g.mean() - 120.0).abs() < 1e-12);
+        assert!((g.variance() - 1200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_samples_positive() {
+        let mut rng = new_rng(4);
+        let g = GammaSampler::new(2.0, 3.0);
+        assert!(g.sample_n(&mut rng, 10_000).iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be > 0")]
+    fn gamma_rejects_zero_shape() {
+        let _ = GammaSampler::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = new_rng(5);
+        let e = ExponentialSampler::new(0.25);
+        let samples: Vec<f64> = (0..50_000).map(|_| e.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_arrivals_monotone_and_rate() {
+        let mut rng = new_rng(6);
+        let p = PoissonProcess::new(0.1); // one arrival per 10 ticks
+        let ticks = p.arrival_ticks(&mut rng, 20_000);
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+        let horizon = *ticks.last().unwrap() as f64;
+        let rate = ticks.len() as f64 / horizon;
+        assert!((rate - 0.1).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn samplers_deterministic_under_seed() {
+        let g = GammaSampler::new(3.0, 2.0);
+        let a = g.sample_n(&mut new_rng(7), 100);
+        let b = g.sample_n(&mut new_rng(7), 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,228 @@
+//! Summary statistics: mean, standard deviation, Student-t 95 % confidence
+//! intervals (the paper reports "the mean and 95% confidence interval" over
+//! 30 workload trials), and Welford's online accumulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 95 % Student-t critical values for small degrees of freedom;
+/// index = df - 1. Falls back to interpolation / the normal value beyond.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+#[must_use]
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T95[df - 1],
+        31..=40 => lerp(2.042, 2.021, (df - 30) as f64 / 10.0),
+        41..=60 => lerp(2.021, 2.000, (df - 40) as f64 / 20.0),
+        61..=120 => lerp(2.000, 1.980, (df - 60) as f64 / 60.0),
+        _ => 1.960,
+    }
+}
+
+fn lerp(a: f64, b: f64, x: f64) -> f64 {
+    a + (b - a) * x
+}
+
+/// Summary of a batch of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std_dev: f64,
+    /// Half-width of the two-sided 95 % confidence interval of the mean
+    /// (0 for n < 2).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarises a non-empty slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise zero observations");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Summary { n, mean, std_dev: 0.0, ci95: 0.0 };
+        }
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let std_dev = var.sqrt();
+        let ci95 = t_critical_95(n - 1) * std_dev / (n as f64).sqrt();
+        Summary { n, mean, std_dev, ci95 }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.ci95)
+    }
+}
+
+/// Convenience: `(mean, ci95 half-width)` of a slice.
+#[must_use]
+pub fn mean_ci95(values: &[f64]) -> (f64, f64) {
+    let s = Summary::of(values);
+    (s.mean, s.ci95)
+}
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`None` before any observation).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Bessel-corrected sample variance (`None` before two observations).
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n as f64 - 1.0))
+    }
+
+    /// Sample standard deviation (`None` before two observations).
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        // Values 1..=5: mean 3, sample std sqrt(2.5).
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+        // ci95 = t(4) * std / sqrt(5) = 2.776 * 1.5811 / 2.2360
+        let expect = 2.776 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn t_critical_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=200 {
+            let t = t_critical_95(df);
+            assert!(t <= prev + 1e-12, "df={df}");
+            prev = t;
+        }
+        assert!((t_critical_95(29) - 2.045).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut w = Welford::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let s = Summary::of(&values);
+        assert!((w.mean().unwrap() - s.mean).abs() < 1e-9);
+        assert!((w.std_dev().unwrap() - s.std_dev).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (50..100).map(|i| i as f64 * 2.0).collect();
+        let mut w1 = Welford::new();
+        a.iter().for_each(|&v| w1.push(v));
+        let mut w2 = Welford::new();
+        b.iter().for_each(|&v| w2.push(v));
+        w1.merge(&w2);
+
+        let mut seq = Welford::new();
+        a.iter().chain(b.iter()).for_each(|&v| seq.push(v));
+        assert_eq!(w1.count(), seq.count());
+        assert!((w1.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-9);
+        assert!((w1.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welford_empty_merge() {
+        let mut w = Welford::new();
+        w.merge(&Welford::new());
+        assert_eq!(w.count(), 0);
+        let mut w2 = Welford::new();
+        w2.push(1.0);
+        let mut empty = Welford::new();
+        empty.merge(&w2);
+        assert_eq!(empty.mean(), Some(1.0));
+    }
+}

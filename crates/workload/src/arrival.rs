@@ -1,0 +1,121 @@
+//! Oversubscription levels: how many tasks arrive over which window.
+//!
+//! The paper evaluates three *workload intensity* levels — 20k, 30k and 40k
+//! tasks — arriving over the same wall-clock window, so a higher level means
+//! a higher arrival rate and deeper oversubscription. [`OversubscriptionLevel`]
+//! captures `(label, tasks, window)`; [`OversubscriptionLevel::scaled`]
+//! shrinks tasks and window *together*, preserving the arrival rate (and
+//! therefore the oversubscription behaviour) while letting experiments run
+//! at laptop scale. EXPERIMENTS.md records the scale used for every figure.
+
+use serde::{Deserialize, Serialize};
+use taskdrop_pmf::Tick;
+
+/// The arrival window the paper-scale SPECint levels use, in ticks.
+///
+/// Calibrated (see `taskdrop-bench/src/bin/calibrate.rs`) so the three
+/// levels land in the robustness bands of the paper's Figure 5: mapping
+/// heuristics exploit the inconsistent PET matrix, giving an *effective*
+/// service capacity of ~90 tasks/s on the 8 machines; 20k tasks over 108 s
+/// (~185/s) is a ~2× overload yielding ≈49 % robustness under
+/// PAM+Heuristic, 30k ≈36 %, 40k ≈29 % — the paper reports ≈48/35/27 %.
+pub const SPECINT_WINDOW: Tick = 108_000;
+
+/// Arrival window for the transcode scenario: the paper notes its traces
+/// "have a lower arrival rate and the system is moderately oversubscribed",
+/// and Figure 10 sits in a visibly higher robustness band than Figure 7a.
+pub const TRANSCODE_WINDOW: Tick = 240_000;
+
+/// A workload intensity level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OversubscriptionLevel {
+    /// Paper-facing label (e.g. `"20k"`), kept even when scaled.
+    pub label: String,
+    /// Number of tasks that arrive.
+    pub tasks: usize,
+    /// Window (ticks) over which they arrive.
+    pub window: Tick,
+}
+
+impl OversubscriptionLevel {
+    /// Creates a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks == 0` or `window == 0`.
+    #[must_use]
+    pub fn new(label: impl Into<String>, tasks: usize, window: Tick) -> Self {
+        assert!(tasks > 0, "level needs at least one task");
+        assert!(window > 0, "window must be positive");
+        OversubscriptionLevel { label: label.into(), tasks, window }
+    }
+
+    /// The paper's three levels for a given window.
+    #[must_use]
+    pub fn paper_levels(window: Tick) -> [OversubscriptionLevel; 3] {
+        [
+            OversubscriptionLevel::new("20k", 20_000, window),
+            OversubscriptionLevel::new("30k", 30_000, window),
+            OversubscriptionLevel::new("40k", 40_000, window),
+        ]
+    }
+
+    /// Scales tasks and window together (rate-preserving). `factor` in
+    /// `(0, 1]` shrinks, `> 1` grows. The label is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be > 0");
+        OversubscriptionLevel {
+            label: self.label.clone(),
+            tasks: ((self.tasks as f64 * factor).round() as usize).max(1),
+            window: ((self.window as f64 * factor).round() as Tick).max(1),
+        }
+    }
+
+    /// Arrival rate in tasks per tick.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.tasks as f64 / self.window as f64
+    }
+}
+
+impl std::fmt::Display for OversubscriptionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} tasks / {} ticks)", self.label, self.tasks, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_levels_share_window() {
+        let levels = OversubscriptionLevel::paper_levels(SPECINT_WINDOW);
+        assert_eq!(levels[0].tasks, 20_000);
+        assert_eq!(levels[2].tasks, 40_000);
+        assert!(levels.iter().all(|l| l.window == SPECINT_WINDOW));
+        // Rates strictly increase with the level.
+        assert!(levels[0].rate() < levels[1].rate());
+        assert!(levels[1].rate() < levels[2].rate());
+    }
+
+    #[test]
+    fn scaling_preserves_rate() {
+        let l = OversubscriptionLevel::new("30k", 30_000, SPECINT_WINDOW);
+        let s = l.scaled(0.2);
+        assert_eq!(s.tasks, 6_000);
+        assert_eq!(s.label, "30k");
+        assert!((s.rate() - l.rate()).abs() / l.rate() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn rejects_zero_factor() {
+        let _ = OversubscriptionLevel::new("x", 10, 10).scaled(0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The SPECint-like heterogeneous scenario table.
+//!
+//! The paper measures the 12 SPEC CINT2006 benchmarks on eight physical
+//! machines and uses the measured means to seed Gamma execution-time
+//! distributions. Those measurements are not available offline, so this
+//! module synthesises a mean table with the same structure:
+//!
+//! * 12 task types named after the CINT2006 suite;
+//! * 8 machines with distinct overall speed factors (named after the
+//!   paper's footnote 1 machines);
+//! * a deterministic *affinity* pattern that makes the heterogeneity
+//!   **inconsistent** — machine A is faster than machine B for some types
+//!   and slower for others — which is the property the paper's system model
+//!   requires;
+//! * per-type mean execution times (averaged over machines) spread evenly
+//!   across the paper's stated 50–200 ms range.
+
+/// The 12 SPEC CINT2006 benchmark names, used as task-type names.
+pub const SPECINT_BENCHMARKS: [&str; 12] = [
+    "perlbench",
+    "bzip2",
+    "gcc",
+    "mcf",
+    "gobmk",
+    "hmmer",
+    "sjeng",
+    "libquantum",
+    "h264ref",
+    "omnetpp",
+    "astar",
+    "xalancbmk",
+];
+
+/// The eight machines of the paper's footnote 1, with synthetic relative
+/// speed factors (smaller = faster) and AWS-flavoured hourly prices
+/// (faster machines cost more, as in EC2's lineup).
+pub const SPECINT_MACHINES: [(&str, f64, f64); 8] = [
+    ("dell-precision-380", 1.05, 0.34),
+    ("apple-imac-core-duo", 1.30, 0.20),
+    ("apple-xserve", 1.20, 0.27),
+    ("ibm-x3455-opteron", 0.90, 0.50),
+    ("shuttle-athlon-fx60", 1.00, 0.42),
+    ("ibm-p570", 0.55, 0.98),
+    ("sunfire-3800", 1.60, 0.17),
+    ("ibm-hs21xm", 0.80, 0.61),
+];
+
+/// Affinity multipliers cycled over `(3·type + 5·machine) mod 7`; the cycle
+/// is coprime with both dimensions, so every machine ordering inversion the
+/// paper's "inconsistent heterogeneity" needs actually occurs (verified by
+/// the `inconsistency` test below).
+const AFFINITY: [f64; 7] = [0.62, 0.81, 0.95, 1.00, 1.12, 1.33, 1.55];
+
+/// Target per-type mean execution times in ticks (ms): evenly spread over
+/// the paper's 50–200 ms range.
+fn target_type_mean(i: usize) -> f64 {
+    50.0 + 150.0 * i as f64 / (SPECINT_BENCHMARKS.len() - 1) as f64
+}
+
+/// Builds the 12×8 mean execution-time table (row-major, ticks).
+///
+/// Row means are calibrated exactly to [`target_type_mean`]; the raw cell
+/// pattern `speed(machine) · affinity((3i+5j) mod 7)` provides the
+/// inconsistency.
+#[must_use]
+pub fn specint_mean_table() -> Vec<Vec<f64>> {
+    let types = SPECINT_BENCHMARKS.len();
+    let machines = SPECINT_MACHINES.len();
+    let mut table = Vec::with_capacity(types);
+    for i in 0..types {
+        let raw: Vec<f64> = (0..machines)
+            .map(|j| SPECINT_MACHINES[j].1 * AFFINITY[(3 * i + 5 * j) % 7])
+            .collect();
+        let raw_mean = raw.iter().sum::<f64>() / machines as f64;
+        let scale = target_type_mean(i) / raw_mean;
+        table.push(raw.iter().map(|r| r * scale).collect());
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_means_span_paper_range() {
+        let table = specint_mean_table();
+        for (i, row) in table.iter().enumerate() {
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            assert!((mean - target_type_mean(i)).abs() < 1e-9, "row {i}");
+        }
+        let first = table[0].iter().sum::<f64>() / 8.0;
+        let last = table[11].iter().sum::<f64>() / 8.0;
+        assert!((first - 50.0).abs() < 1e-9);
+        assert!((last - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_cells_positive_and_finite() {
+        for row in specint_mean_table() {
+            for cell in row {
+                assert!(cell.is_finite() && cell > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_inconsistent() {
+        // There must exist types (a, b) and machines (x, y) with a faster on
+        // x but slower on y.
+        let t = specint_mean_table();
+        let mut found = false;
+        'outer: for a in 0..12 {
+            for b in 0..12 {
+                for x in 0..8 {
+                    for y in 0..8 {
+                        if t[a][x] < t[b][x] && t[a][y] > t[b][y] {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "mean table is consistent; inconsistency required");
+    }
+
+    #[test]
+    fn machine_orderings_differ_across_types() {
+        // Stronger inconsistency check: the argmin machine is not the same
+        // for every task type.
+        let t = specint_mean_table();
+        let argmin = |row: &Vec<f64>| {
+            row.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        let mins: Vec<usize> = t.iter().map(argmin).collect();
+        let mut unique = mins.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() >= 2, "every type prefers the same machine: {mins:?}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The video-transcoding validation scenario (paper Section V-H, Figure 10).
+//!
+//! Four transcoding task types on four heterogeneous cloud VM types, two
+//! machine instances per type. The paper describes the traces only
+//! qualitatively: *"Execution time variation across different task types is
+//! high (i.e., certain task type takes significantly shorter time to execute
+//! than the others across all machine types)"*, with a lower arrival rate
+//! and moderate oversubscription. The synthetic table below encodes exactly
+//! that: type means spanning 40–320 ms (8×), and VM-type affinities (the GPU
+//! VM excels at codec changes, the CPU-optimised VM at resolution scaling).
+
+/// The four transcoding operations of the paper's motivating system.
+pub const TRANSCODE_TASK_TYPES: [&str; 4] =
+    ["change-resolution", "change-bitrate", "change-framerate", "change-codec"];
+
+/// The four VM types (name, hourly price). Prices follow EC2's ordering:
+/// GPU > CPU-optimised > memory-optimised > general-purpose.
+pub const TRANSCODE_VM_TYPES: [(&str, f64); 4] = [
+    ("general-purpose", 0.33),
+    ("cpu-optimized", 0.60),
+    ("mem-optimized", 0.50),
+    ("gpu", 1.14),
+];
+
+/// Machines per VM type (the paper: "two machines for each type").
+pub const TRANSCODE_MACHINES_PER_TYPE: usize = 2;
+
+/// Mean execution-time table (ticks), rows = task types, columns = VM types.
+///
+/// High cross-type variation (row means ≈ 42, 95, 170, 310) and inconsistent
+/// VM affinities within each row.
+#[must_use]
+pub fn transcode_mean_table() -> Vec<Vec<f64>> {
+    vec![
+        // change-resolution: cheap everywhere, CPU-optimised shines.
+        vec![48.0, 30.0, 45.0, 44.0],
+        // change-bitrate: memory-bound.
+        vec![105.0, 98.0, 62.0, 115.0],
+        // change-framerate: moderately heavy, GPU helps some.
+        vec![195.0, 170.0, 185.0, 130.0],
+        // change-codec: heavyweight; GPU dominates, general-purpose crawls.
+        vec![420.0, 330.0, 360.0, 130.0],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_variation_across_types() {
+        let t = transcode_mean_table();
+        let row_mean =
+            |r: &Vec<f64>| -> f64 { r.iter().sum::<f64>() / r.len() as f64 };
+        let fastest = row_mean(&t[0]);
+        let slowest = row_mean(&t[3]);
+        assert!(
+            slowest / fastest > 5.0,
+            "paper requires high cross-type variation; got {:.1}x",
+            slowest / fastest
+        );
+    }
+
+    #[test]
+    fn inconsistent_vm_affinity() {
+        let t = transcode_mean_table();
+        // GPU is best for codec but not for resolution.
+        let argmin = |r: &Vec<f64>| {
+            r.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        assert_eq!(argmin(&t[3]), 3, "GPU must win codec changes");
+        assert_ne!(argmin(&t[0]), 3, "GPU must not win resolution scaling");
+    }
+
+    #[test]
+    fn dimensions_match_constants() {
+        let t = transcode_mean_table();
+        assert_eq!(t.len(), TRANSCODE_TASK_TYPES.len());
+        for row in &t {
+            assert_eq!(row.len(), TRANSCODE_VM_TYPES.len());
+        }
+    }
+}

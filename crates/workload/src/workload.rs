@@ -1,0 +1,171 @@
+//! Workload trials: the task streams fed to the simulator.
+
+use crate::{OversubscriptionLevel, Scenario};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use taskdrop_model::{Task, TaskId, TaskTypeId};
+use taskdrop_pmf::Tick;
+use taskdrop_stats::{derive_seed, new_rng, PoissonProcess};
+
+/// One workload trial: tasks in arrival order.
+///
+/// Construction follows the paper's Section V-A: Poisson arrivals at the
+/// level's rate, uniformly random task types, and deadlines
+/// `δᵢ = arrᵢ + avgᵢ + γ·avg_all` where `avgᵢ` is the task type's true mean
+/// execution time across machines, `avg_all` the mean over all types, and
+/// `γ` the slack coefficient. Every task is individually feasible (its
+/// deadline leaves room for an average execution), yet the aggregate rate
+/// oversubscribes the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Level label this trial was generated for (e.g. `"30k"`).
+    pub label: String,
+    /// Deadline slack coefficient γ.
+    pub gamma_x1000: u64,
+    /// Seed the trial was generated from.
+    pub seed: u64,
+    /// Tasks sorted by arrival tick.
+    pub tasks: Vec<Task>,
+}
+
+impl Workload {
+    /// Generates a trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is negative or not finite.
+    #[must_use]
+    pub fn generate(
+        scenario: &Scenario,
+        level: &OversubscriptionLevel,
+        gamma: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be finite and >= 0");
+        let mut rng = new_rng(derive_seed(seed, 0xA331));
+        let arrivals = PoissonProcess::new(level.rate()).arrival_ticks(&mut rng, level.tasks);
+        let avg_all: f64 = scenario.task_types.iter().map(|t| t.mean_exec).sum::<f64>()
+            / scenario.task_type_count() as f64;
+        let tasks: Vec<Task> = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let type_id = TaskTypeId(rng.gen_range(0..scenario.task_type_count()) as u16);
+                let avg_i = scenario.task_types[type_id.index()].mean_exec;
+                let slack = ((avg_i + gamma * avg_all).round() as Tick).max(1);
+                Task::new(TaskId(i as u64), type_id, arrival, arrival + slack)
+            })
+            .collect();
+        Workload {
+            label: level.label.clone(),
+            gamma_x1000: (gamma * 1000.0).round() as u64,
+            seed,
+            tasks,
+        }
+    }
+
+    /// The slack coefficient γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma_x1000 as f64 / 1000.0
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the trial is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The last arrival tick (0 for an empty workload).
+    #[must_use]
+    pub fn horizon(&self) -> Tick {
+        self.tasks.last().map_or(0, |t| t.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level() -> OversubscriptionLevel {
+        OversubscriptionLevel::new("20k", 2_000, 27_000)
+    }
+
+    #[test]
+    fn generates_requested_count_in_order() {
+        let s = Scenario::specint(1);
+        let w = Workload::generate(&s, &level(), 3.0, 11);
+        assert_eq!(w.len(), 2_000);
+        assert!(w.tasks.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(w.tasks.windows(2).all(|p| p[0].id < p[1].id));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = Scenario::specint(1);
+        let a = Workload::generate(&s, &level(), 3.0, 11);
+        let b = Workload::generate(&s, &level(), 3.0, 11);
+        let c = Workload::generate(&s, &level(), 3.0, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_rate_close_to_level() {
+        let s = Scenario::specint(1);
+        let w = Workload::generate(&s, &level(), 3.0, 5);
+        let measured = w.len() as f64 / w.horizon() as f64;
+        let target = level().rate();
+        assert!((measured - target).abs() / target < 0.08, "rate {measured} vs {target}");
+    }
+
+    #[test]
+    fn deadline_formula_matches_paper() {
+        let s = Scenario::specint(1);
+        let gamma = 2.5;
+        let w = Workload::generate(&s, &level(), gamma, 5);
+        let avg_all: f64 =
+            s.task_types.iter().map(|t| t.mean_exec).sum::<f64>() / s.task_type_count() as f64;
+        for t in w.tasks.iter().take(50) {
+            let avg_i = s.task_types[t.type_id.index()].mean_exec;
+            let expect = t.arrival + ((avg_i + gamma * avg_all).round() as Tick).max(1);
+            assert_eq!(t.deadline, expect);
+        }
+    }
+
+    #[test]
+    fn all_types_appear() {
+        let s = Scenario::specint(1);
+        let w = Workload::generate(&s, &level(), 3.0, 5);
+        let mut seen = vec![false; s.task_type_count()];
+        for t in &w.tasks {
+            seen[t.type_id.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "not all task types present");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::transcode(1);
+        let small = OversubscriptionLevel::new("20k", 50, 5_000);
+        let w = Workload::generate(&s, &small, 3.0, 5);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn zero_gamma_still_feasible() {
+        let s = Scenario::specint(1);
+        let w = Workload::generate(&s, &OversubscriptionLevel::new("x", 100, 1_000), 0.0, 5);
+        for t in &w.tasks {
+            assert!(t.deadline > t.arrival);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # taskdrop — autonomous proactive task dropping for robust HC systems
+//!
+//! Umbrella crate re-exporting the whole `taskdrop` workspace: a
+//! production-quality Rust reproduction of
+//! *"Autonomous Task Dropping Mechanism to Achieve Robustness in
+//! Heterogeneous Computing Systems"* (Mokhtari, Denninnart, Amini Salehi,
+//! 2020).
+//!
+//! See the individual crates for details:
+//!
+//! * [`pmf`] — discrete PMFs, convolution, the deadline-aware convolution of
+//!   the paper's Equation (1).
+//! * [`stats`] — seeded samplers (Gamma, Exponential, Normal), Poisson
+//!   arrivals, histograms, summary statistics.
+//! * [`model`] — tasks, machines, PET matrix, machine-queue completion-time
+//!   chains, instantaneous robustness.
+//! * [`sched`] — mapping heuristics: MinMin, MSD, PAM, FCFS, EDF, SJF.
+//! * [`core`] — the paper's contribution: proactive dropping heuristic,
+//!   optimal subset dropping, threshold baseline.
+//! * [`workload`] — SPECint-like and video-transcoding scenario generators.
+//! * [`sim`] — discrete-event simulator with metrics, cost model and a
+//!   parallel multi-trial runner.
+
+pub use taskdrop_core as core;
+pub use taskdrop_model as model;
+pub use taskdrop_pmf as pmf;
+pub use taskdrop_sched as sched;
+pub use taskdrop_sim as sim;
+pub use taskdrop_stats as stats;
+pub use taskdrop_workload as workload;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use taskdrop_core::{
+        ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
+        ThresholdDropper,
+    };
+    pub use taskdrop_model::ApproxSpec;
+    pub use taskdrop_model::view::{
+        Assignment, DropContext, MappingInput, QueueView, UnmappedView,
+    };
+    pub use taskdrop_model::{MachineId, MachineTypeId, PetMatrix, Task, TaskId, TaskTypeId};
+    pub use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
+    pub use taskdrop_sched::{Edf, Fcfs, HeuristicKind, MappingHeuristic, MinMin, Msd, Pam, Sjf};
+    pub use taskdrop_sim::{
+        DropperKind, RunSpec, SimConfig, SimReport, Simulation, TrialResult, TrialRunner,
+    };
+    pub use taskdrop_workload::{
+        OversubscriptionLevel, Scenario, Workload, SPECINT_WINDOW, TRANSCODE_WINDOW,
+    };
+}

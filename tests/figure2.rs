@@ -1,0 +1,50 @@
+//! Reproduces the paper's Figure 2 worked example through the public API,
+//! end to end: raw PMFs -> deadline-aware convolution -> queue chain.
+
+use taskdrop::model::queue::{chain, ChainTask};
+use taskdrop::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+#[test]
+fn figure2_exact_impulses() {
+    let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
+    let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
+    let c = deadline_convolve(&prev, &exec, 13);
+
+    let expected = [(11u64, 0.36), (12, 0.42), (13, 0.20), (14, 0.02)];
+    let got = c.to_pairs();
+    assert_eq!(got.len(), expected.len());
+    for ((t, p), (et, ep)) in got.iter().zip(expected.iter()) {
+        assert_eq!(t, et);
+        assert!(close(*p, *ep), "at t={t}: {p} vs {ep}");
+    }
+    assert!(close(chance_of_success(&c, 13), 0.78));
+}
+
+#[test]
+fn figure2_through_queue_chain() {
+    // The same numbers must fall out of the higher-level chain API used by
+    // the dropping policies.
+    let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
+    let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
+    let links =
+        chain(&prev, &[ChainTask { deadline: 13, exec: &exec }], Compaction::None);
+    assert_eq!(links.len(), 1);
+    assert!(close(links[0].chance, 0.78));
+    assert!(close(links[0].completion.at(11), 0.36));
+    assert!(close(links[0].completion.at(14), 0.02));
+}
+
+#[test]
+fn figure2_is_compaction_safe() {
+    // The default compaction must not disturb a 4-impulse PMF.
+    let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
+    let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
+    let links =
+        chain(&prev, &[ChainTask { deadline: 13, exec: &exec }], Compaction::default());
+    assert!(close(links[0].chance, 0.78));
+    assert_eq!(links[0].completion.len(), 4);
+}

@@ -1,0 +1,168 @@
+//! The paper's headline qualitative claims, asserted end-to-end at small
+//! scale with fixed seeds. These are the "shape" guarantees the benchmark
+//! harness reproduces quantitatively at larger scale.
+
+use taskdrop::prelude::*;
+
+const SEED: u64 = 0xC1A1;
+
+fn runner() -> TrialRunner {
+    TrialRunner::new(4, SEED)
+}
+
+fn spec(mapper: HeuristicKind, dropper: DropperKind, tasks: usize, window: u64) -> RunSpec {
+    RunSpec {
+        level: OversubscriptionLevel::new("claim", tasks, window),
+        gamma: 1.0,
+        mapper,
+        dropper,
+        config: SimConfig { exclude_boundary: 20, ..SimConfig::default() },
+    }
+}
+
+/// Claim (abstract): "the autonomous proactive dropping mechanism can
+/// improve the system robustness by up to 20 %".
+#[test]
+fn proactive_dropping_improves_robustness_in_overload() {
+    let scenario = Scenario::specint(0xA5);
+    let with = runner()
+        .run(&scenario, &spec(HeuristicKind::Pam, DropperKind::heuristic_default(), 900, 5_000));
+    let without =
+        runner().run(&scenario, &spec(HeuristicKind::Pam, DropperKind::ReactiveOnly, 900, 5_000));
+    let gain = with.robustness().mean - without.robustness().mean;
+    assert!(
+        gain > 5.0,
+        "expected a clear robustness gain, got {:.1} ({} vs {})",
+        gain,
+        with.robustness(),
+        without.robustness()
+    );
+}
+
+/// Claim (§V-F): "regardless of the oversubscription level, there is no
+/// statistically and practically significant difference" between
+/// PAM+Optimal and PAM+Heuristic.
+#[test]
+fn optimal_and_heuristic_are_practically_equal() {
+    let scenario = Scenario::specint(0xA5);
+    let heuristic = runner()
+        .run(&scenario, &spec(HeuristicKind::Pam, DropperKind::heuristic_default(), 700, 4_000));
+    let optimal =
+        runner().run(&scenario, &spec(HeuristicKind::Pam, DropperKind::Optimal, 700, 4_000));
+    let diff = (optimal.robustness().mean - heuristic.robustness().mean).abs();
+    assert!(
+        diff < 6.0,
+        "optimal {} vs heuristic {} differ by {diff:.1} points",
+        optimal.robustness(),
+        heuristic.robustness()
+    );
+}
+
+/// Claim (§V-E): with proactive dropping in place, MSD/MM/PAM converge to
+/// almost the same robustness; without it MSD falls far behind.
+#[test]
+fn dropping_equalises_mapping_heuristics() {
+    let scenario = Scenario::specint(0xA5);
+    let mut with = Vec::new();
+    let mut without = Vec::new();
+    for mapper in [HeuristicKind::Msd, HeuristicKind::MinMin, HeuristicKind::Pam] {
+        with.push(
+            runner()
+                .run(&scenario, &spec(mapper, DropperKind::heuristic_default(), 900, 5_000))
+                .robustness()
+                .mean,
+        );
+        without.push(
+            runner()
+                .run(&scenario, &spec(mapper, DropperKind::ReactiveOnly, 900, 5_000))
+                .robustness()
+                .mean,
+        );
+    }
+    let spread =
+        |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread(&with) < spread(&without),
+        "dropping should shrink the spread: with {with:?} vs without {without:?}"
+    );
+    // MSD specifically is the weakest without dropping.
+    assert!(
+        without[0] < without[1] && without[0] < without[2],
+        "MSD must trail MM/PAM without dropping: {without:?}"
+    );
+}
+
+/// Claim (§V-F): with proactive dropping engaged, only a small share of
+/// drops happen reactively (the paper reports ≈7 %).
+#[test]
+fn reactive_share_is_small_under_proactive_dropping() {
+    let scenario = Scenario::specint(0xA5);
+    let report = runner()
+        .run(&scenario, &spec(HeuristicKind::Pam, DropperKind::heuristic_default(), 900, 5_000));
+    let share = report.reactive_drop_fraction().expect("oversubscribed: drops happen");
+    assert!(
+        share.mean < 0.25,
+        "reactive share {:.1} % too high for a proactive mechanism",
+        share.mean * 100.0
+    );
+}
+
+/// Claim (Figure 6 direction): raising β makes the dropper more conservative
+/// — fewer proactive drops.
+#[test]
+fn beta_controls_aggression() {
+    let scenario = Scenario::specint(0xA5);
+    let drops_at = |beta: f64| {
+        let report = runner().run(
+            &scenario,
+            &spec(HeuristicKind::Pam, DropperKind::Heuristic { beta, eta: 2 }, 700, 4_000),
+        );
+        report.trials.iter().map(|t| t.dropped_proactive).sum::<usize>()
+    };
+    let aggressive = drops_at(1.0);
+    let conservative = drops_at(4.0);
+    assert!(
+        aggressive > conservative,
+        "beta=1 should drop more than beta=4: {aggressive} vs {conservative}"
+    );
+}
+
+/// Claim (Figure 9 direction): dropping-based PAM costs less per robustness
+/// point than MinMin without proactive dropping.
+#[test]
+fn dropping_lowers_normalised_cost() {
+    let scenario = Scenario::specint(0xA5);
+    let pam = runner()
+        .run(&scenario, &spec(HeuristicKind::Pam, DropperKind::heuristic_default(), 900, 5_000));
+    let mm = runner()
+        .run(&scenario, &spec(HeuristicKind::MinMin, DropperKind::ReactiveOnly, 900, 5_000));
+    assert!(
+        pam.cost_per_robustness().mean < mm.cost_per_robustness().mean,
+        "PAM+Heuristic {:.4} should undercut MM+ReactDrop {:.4}",
+        pam.cost_per_robustness().mean,
+        mm.cost_per_robustness().mean
+    );
+}
+
+/// Claim (Figure 10): the video-transcoding validation scenario reproduces
+/// the equalisation observation.
+#[test]
+fn transcode_validation_holds() {
+    let scenario = Scenario::transcode(0xA5);
+    let mut gains = Vec::new();
+    for mapper in [HeuristicKind::Msd, HeuristicKind::MinMin, HeuristicKind::Pam] {
+        let with = runner()
+            .run(&scenario, &spec(mapper, DropperKind::heuristic_default(), 800, 6_500));
+        let without =
+            runner().run(&scenario, &spec(mapper, DropperKind::ReactiveOnly, 800, 6_500));
+        gains.push(with.robustness().mean - without.robustness().mean);
+    }
+    assert!(
+        gains.iter().all(|&g| g > -2.0),
+        "proactive dropping should not hurt any transcode mapper: {gains:?}"
+    );
+    assert!(
+        gains.iter().any(|&g| g > 3.0),
+        "proactive dropping should clearly help at least one mapper: {gains:?}"
+    );
+}
