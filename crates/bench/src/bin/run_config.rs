@@ -44,8 +44,7 @@ fn main() {
         println!("{}", serde_json::to_string_pretty(&template()).expect("template"));
         return;
     };
-    let raw = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let spec: RunSpec =
         serde_json::from_str(&raw).unwrap_or_else(|e| panic!("invalid spec {path}: {e}"));
 

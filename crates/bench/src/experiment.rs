@@ -124,10 +124,7 @@ impl Experiment {
                 s
             }
         };
-        (
-            ResultRow { series, x, mean: summary.mean, ci95: summary.ci95, trials: summary.n },
-            report,
-        )
+        (ResultRow { series, x, mean: summary.mean, ci95: summary.ci95, trials: summary.n }, report)
     }
 }
 

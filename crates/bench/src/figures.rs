@@ -108,8 +108,7 @@ fn mapping_grid(
     scale: Scale,
     master_seed: u64,
 ) -> Vec<ResultRow> {
-    let droppers =
-        [DropperKind::heuristic_default(), DropperKind::ReactiveOnly];
+    let droppers = [DropperKind::heuristic_default(), DropperKind::ReactiveOnly];
     let mut rows = Vec::new();
     for &mapper in mappers {
         for dropper in droppers {
@@ -157,12 +156,7 @@ pub fn fig07b(scale: Scale) -> Vec<ResultRow> {
         "fig07b",
         &scenario,
         &level,
-        &[
-            HeuristicKind::Fcfs,
-            HeuristicKind::Edf,
-            HeuristicKind::Sjf,
-            HeuristicKind::Pam,
-        ],
+        &[HeuristicKind::Fcfs, HeuristicKind::Edf, HeuristicKind::Sjf, HeuristicKind::Pam],
         scale,
         0x07B0,
     )
@@ -239,8 +233,7 @@ pub fn fig09(scale: Scale) -> Vec<ResultRow> {
 #[must_use]
 pub fn fig10(scale: Scale) -> Vec<ResultRow> {
     let scenario = Scenario::transcode(SCENARIO_SEED);
-    let level = OversubscriptionLevel::new("20k", 20_000, TRANSCODE_WINDOW)
-        .scaled(scale.factor());
+    let level = OversubscriptionLevel::new("20k", 20_000, TRANSCODE_WINDOW).scaled(scale.factor());
     mapping_grid(
         "fig10",
         &scenario,

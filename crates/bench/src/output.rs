@@ -78,8 +78,7 @@ mod tests {
 
     #[test]
     fn markdown_pivots_series_to_columns() {
-        let rows =
-            vec![row("A", "20k", 50.0), row("B", "20k", 40.0), row("A", "30k", 35.0)];
+        let rows = vec![row("A", "20k", 50.0), row("B", "20k", 40.0), row("A", "30k", 35.0)];
         let md = render_markdown("Robustness", &rows);
         assert!(md.contains("| Robustness | A | B |"));
         assert!(md.contains("| 20k | 50.00 ± 1.00 | 40.00 ± 1.00 |"));

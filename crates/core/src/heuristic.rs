@@ -259,11 +259,8 @@ mod tests {
         let pet = pet();
         // Three tasks; make the last hopeless. It must survive (its
         // influence zone is empty).
-        let q = idle_queue(
-            &pet,
-            0,
-            vec![pending(1, 0, 1000), pending(2, 0, 1000), pending(3, 1, 5)],
-        );
+        let q =
+            idle_queue(&pet, 0, vec![pending(1, 0, 1000), pending(2, 0, 1000), pending(3, 1, 5)]);
         let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
         assert!(!d.drops.contains(&2));
     }
@@ -273,11 +270,7 @@ mod tests {
         let pet = pet();
         // A doomed huge task followed by two viable ones; after dropping the
         // blocker the survivors are fine and must not be dropped.
-        let q = idle_queue(
-            &pet,
-            0,
-            vec![pending(1, 1, 20), pending(2, 0, 40), pending(3, 0, 40)],
-        );
+        let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 40), pending(3, 0, 40)]);
         let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
         assert_eq!(d.drops, vec![0]);
     }

@@ -17,7 +17,7 @@
 //!   exhaustive search over the `2^(q-1)` drop subsets of each queue,
 //!   implemented as a shared-prefix DFS so common chain prefixes are
 //!   convolved once, with an optional admissible-bound pruning extension.
-//! * [`ThresholdDropper`] — the prior-work baseline (Gentry et al. [2],
+//! * [`ThresholdDropper`] — the prior-work baseline (Gentry et al. \[2\],
 //!   "PAM+Threshold"): drop a task when its chance of success falls below a
 //!   user-provided threshold, mildly adapted to the observed
 //!   oversubscription pressure at each mapping event.
@@ -25,7 +25,7 @@
 //!   reactive dropping (tasks that already missed their deadlines) applies.
 //!
 //! Policies never see the simulator: they receive a read-only
-//! [`QueueView`](taskdrop_model::view::QueueView) per machine queue and
+//! [`QueueView`] per machine queue and
 //! return the pending positions to drop. The *running* task is never
 //! droppable (the system model forbids preemption), and the *last* pending
 //! task is excluded because its influence zone is empty (Section IV-D).
@@ -115,7 +115,11 @@ pub(crate) mod testutil {
     }
 
     /// Queue on an idle machine at `now`.
-    pub fn idle_queue<'a>(pet: &'a PetMatrix, now: Tick, pending: Vec<PendingView>) -> QueueView<'a> {
+    pub fn idle_queue<'a>(
+        pet: &'a PetMatrix,
+        now: Tick,
+        pending: Vec<PendingView>,
+    ) -> QueueView<'a> {
         QueueView {
             machine: MachineId(0),
             machine_type: MachineTypeId(0),

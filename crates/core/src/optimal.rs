@@ -149,8 +149,7 @@ impl DropPolicy for OptimalDropper {
         };
         // Seed the incumbent with the no-drop chain so pruning has a bar,
         // then search all alternatives.
-        search.best_r =
-            taskdrop_model::queue::chance_sum(&base, &tasks, n, ctx.compaction);
+        search.best_r = taskdrop_model::queue::chance_sum(&base, &tasks, n, ctx.compaction);
         search.dfs(0, &base, 0.0);
         DropDecision::drops(search.best_drops)
     }

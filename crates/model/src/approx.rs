@@ -31,10 +31,7 @@ impl ApproxSpec {
     /// of 1 would make degradation pointless, 0 would make it free).
     #[must_use]
     pub fn new(time_factor: f64, value: f64) -> Self {
-        assert!(
-            time_factor > 0.0 && time_factor < 1.0,
-            "approx time factor must be in (0, 1)"
-        );
+        assert!(time_factor > 0.0 && time_factor < 1.0, "approx time factor must be in (0, 1)");
         assert!(value > 0.0 && value < 1.0, "approx value must be in (0, 1)");
         ApproxSpec { time_factor, value }
     }

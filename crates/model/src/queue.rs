@@ -69,12 +69,7 @@ pub fn chain(base: &Pmf, tasks: &[ChainTask<'_>], compaction: Compaction) -> Vec
 /// This is the hot primitive of the proactive dropping heuristic: evaluating
 /// Eq (8) needs only chance sums over the effective depth.
 #[must_use]
-pub fn chance_sum(
-    base: &Pmf,
-    tasks: &[ChainTask<'_>],
-    take: usize,
-    compaction: Compaction,
-) -> f64 {
+pub fn chance_sum(base: &Pmf, tasks: &[ChainTask<'_>], take: usize, compaction: Compaction) -> f64 {
     let mut sum = 0.0;
     let mut prev = base.clone();
     for t in tasks.iter().take(take) {
@@ -179,10 +174,8 @@ mod tests {
         let base = Pmf::point(50);
         let exec = Pmf::point(10);
         // Deadline 30 is before the machine frees at 50: reactive-drop branch.
-        let tasks = [
-            ChainTask { deadline: 30, exec: &exec },
-            ChainTask { deadline: 100, exec: &exec },
-        ];
+        let tasks =
+            [ChainTask { deadline: 30, exec: &exec }, ChainTask { deadline: 100, exec: &exec }];
         let links = chain(&base, &tasks, Compaction::None);
         assert!(close(links[0].chance, 0.0));
         assert_eq!(links[0].completion.to_pairs(), vec![(50, 1.0)]);
@@ -213,10 +206,8 @@ mod tests {
     fn chain_with_no_drops_equals_chain() {
         let base = Pmf::point(0);
         let exec = Pmf::from_impulses(vec![(3, 0.5), (9, 0.5)]).unwrap();
-        let tasks = [
-            ChainTask { deadline: 10, exec: &exec },
-            ChainTask { deadline: 15, exec: &exec },
-        ];
+        let tasks =
+            [ChainTask { deadline: 10, exec: &exec }, ChainTask { deadline: 15, exec: &exec }];
         let plain = chain(&base, &tasks, Compaction::None);
         let masked = chain_with_drops(&base, &tasks, &[false, false], Compaction::None);
         for (a, b) in plain.iter().zip(masked.iter()) {
@@ -231,10 +222,8 @@ mod tests {
         let base = Pmf::point(0);
         let big = Pmf::point(50);
         let small = Pmf::point(5);
-        let tasks = [
-            ChainTask { deadline: 60, exec: &big },
-            ChainTask { deadline: 20, exec: &small },
-        ];
+        let tasks =
+            [ChainTask { deadline: 60, exec: &big }, ChainTask { deadline: 20, exec: &small }];
         let keep = chain(&base, &tasks, Compaction::None);
         // Follower starts at 50, finishes 55 >= 20: chance 0.
         assert!(close(keep[1].chance, 0.0));

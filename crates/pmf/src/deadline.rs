@@ -73,8 +73,7 @@ mod tests {
     #[test]
     fn paper_figure2() {
         let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
-        let prev =
-            Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
+        let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
         let c = deadline_convolve(&prev, &exec, 13);
         let pairs = c.to_pairs();
         assert_eq!(pairs.len(), 4);

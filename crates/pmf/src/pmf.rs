@@ -254,13 +254,7 @@ impl Pmf {
         if total == 0.0 {
             return Pmf::empty();
         }
-        Pmf {
-            impulses: self
-                .impulses
-                .iter()
-                .map(|i| Impulse { t: i.t, p: i.p / total })
-                .collect(),
-        }
+        Pmf { impulses: self.impulses.iter().map(|i| Impulse { t: i.t, p: i.p / total }).collect() }
     }
 
     /// Conditions on `X >= t`: removes mass before `t` and renormalises.
@@ -277,9 +271,7 @@ impl Pmf {
         if mass <= 0.0 {
             return None;
         }
-        Some(Pmf {
-            impulses: tail.iter().map(|i| Impulse { t: i.t, p: i.p / mass }).collect(),
-        })
+        Some(Pmf { impulses: tail.iter().map(|i| Impulse { t: i.t, p: i.p / mass }).collect() })
     }
 }
 

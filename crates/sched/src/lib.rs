@@ -61,11 +61,7 @@ pub(crate) mod testutil {
     /// type 0: 10 on m0, 40 on m1; type 1: 40 on m0, 10 on m1
     /// (inconsistent heterogeneity: each type prefers a different machine).
     pub fn inconsistent_pet() -> PetMatrix {
-        PetMatrix::new(
-            2,
-            2,
-            vec![Pmf::point(10), Pmf::point(40), Pmf::point(40), Pmf::point(10)],
-        )
+        PetMatrix::new(2, 2, vec![Pmf::point(10), Pmf::point(40), Pmf::point(40), Pmf::point(10)])
     }
 
     pub fn machine(id: u16, mtype: u16, free: usize, ready_at: Tick) -> MachineView {

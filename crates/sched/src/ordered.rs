@@ -91,7 +91,8 @@ impl MappingHeuristic for OrderedHeuristic {
             }
             let Some((mi, _)) = best else { break };
             let exec = pet.pmf(task.type_id, machines[mi].machine_type);
-            let tail = compaction.apply(&deadline_convolve(&machines[mi].tail, exec, task.deadline));
+            let tail =
+                compaction.apply(&deadline_convolve(&machines[mi].tail, exec, task.deadline));
             tail_means[mi] = tail.mean().unwrap_or(tail_means[mi]);
             machines[mi].tail = tail;
             machines[mi].free_slots -= 1;
@@ -165,13 +166,9 @@ mod tests {
     #[test]
     fn sjf_picks_shortest_type() {
         let pet = inconsistent_pet(); // type means: both (10+40)/2 = 25 -- equal!
-        // Use a PET where type means differ.
+                                      // Use a PET where type means differ.
         use taskdrop_pmf::Pmf;
-        let pet2 = taskdrop_model::PetMatrix::new(
-            2,
-            1,
-            vec![Pmf::point(100), Pmf::point(10)],
-        );
+        let pet2 = taskdrop_model::PetMatrix::new(2, 1, vec![Pmf::point(100), Pmf::point(10)]);
         let tasks = vec![task(0, 0, 0, 10_000), task(1, 1, 0, 10_000)];
         let asg = Sjf.map(input(&pet2, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg[0].task_idx, 1, "SJF must map the short type first");
@@ -186,8 +183,7 @@ mod tests {
         let pet = inconsistent_pet();
         // Homogeneous pair (same machine type): machine 1 frees earlier.
         let tasks = vec![task(0, 0, 0, 10_000)];
-        let asg =
-            Fcfs.map(input(&pet, vec![machine(0, 0, 3, 500), machine(1, 0, 3, 100)], &tasks));
+        let asg = Fcfs.map(input(&pet, vec![machine(0, 0, 3, 500), machine(1, 0, 3, 100)], &tasks));
         assert_eq!(asg[0].machine, MachineId(1));
     }
 

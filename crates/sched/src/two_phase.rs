@@ -24,7 +24,7 @@
 //! below the deadline can only come from on-time starts.
 
 use crate::MappingHeuristic;
-use taskdrop_model::view::{Assignment, MappingInput, MachineView, UnmappedView};
+use taskdrop_model::view::{Assignment, MachineView, MappingInput, UnmappedView};
 use taskdrop_model::PetMatrix;
 use taskdrop_pmf::{deadline_convolve, Compaction, Pmf};
 
@@ -142,8 +142,7 @@ impl<'a> WorkState<'a> {
     }
 
     fn expected_completion(&self, mi: usize, task: &UnmappedView) -> f64 {
-        self.tail_means[mi]
-            + self.pet.mean_exec(task.type_id, self.machines[mi].machine_type)
+        self.tail_means[mi] + self.pet.mean_exec(task.type_id, self.machines[mi].machine_type)
     }
 
     fn chance(&mut self, mi: usize, task: &UnmappedView) -> f64 {
@@ -517,8 +516,7 @@ mod tests {
         // Add task C (type 0): also best m0 -> contends with A on m0; equal
         // sufferage, ties by completion then id -> A (lower id) wins m0.
         let pet = inconsistent_pet();
-        let tasks =
-            vec![task(0, 0, 0, 10_000), task(1, 1, 0, 10_000), task(2, 0, 0, 10_000)];
+        let tasks = vec![task(0, 0, 0, 10_000), task(1, 1, 0, 10_000), task(2, 0, 0, 10_000)];
         let asg =
             Sufferage.map(input(&pet, vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg.len(), 2);

@@ -1,9 +1,7 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
-use taskdrop_core::{
-    DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly, ThresholdDropper,
-};
+use taskdrop_core::{DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly, ThresholdDropper};
 use taskdrop_pmf::Compaction;
 
 /// Machine failure injection (the paper's future-work "resource failure"

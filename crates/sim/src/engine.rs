@@ -298,8 +298,7 @@ impl<'a> Simulation<'a> {
             }
             let full_exec = self.actual_exec(&task, m.machine);
             let exec = if degraded {
-                let factor =
-                    self.config.approx.map_or(1.0, |a| a.time_factor);
+                let factor = self.config.approx.map_or(1.0, |a| a.time_factor);
                 ((full_exec as f64 * factor).round() as Tick).max(1)
             } else {
                 full_exec
@@ -509,9 +508,7 @@ impl<'a> Simulation<'a> {
         let busy_ticks: Vec<u64> = machines.iter().map(|m| m.busy_ticks).collect();
         let cost_dollars: f64 = machines
             .iter()
-            .map(|m| {
-                m.busy_ticks as f64 / 3_600_000.0 * self.scenario.price_per_hour(m.machine.id)
-            })
+            .map(|m| m.busy_ticks as f64 / 3_600_000.0 * self.scenario.price_per_hour(m.machine.id))
             .sum();
         TrialResult {
             total_tasks: n,
@@ -553,8 +550,7 @@ fn running_view(
         pet.pmf(r.task.type_id, m.machine.type_id).clone()
     };
     let shifted = exec_estimate.shift(r.start);
-    let mut completion =
-        shifted.condition_at_least(now + 1).unwrap_or_else(|| Pmf::point(now + 1));
+    let mut completion = shifted.condition_at_least(now + 1).unwrap_or_else(|| Pmf::point(now + 1));
     if self_kill_applies(config, r, now) {
         completion = completion.clamp_max(r.task.deadline.max(now + 1));
     }
@@ -602,7 +598,6 @@ fn queue_tail(
     links.last().expect("non-empty pending").completion.clone()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,8 +636,8 @@ mod tests {
         let scenario = Scenario::specint(7);
         // 50 tasks over 100 s: ~0.5 tasks/s against ~64/s capacity.
         let w = small_workload(&scenario, 50, 100_000);
-        let r = Simulation::new(&scenario, &w, &MinMin, &ReactiveOnly, config_no_boundary(), 1)
-            .run();
+        let r =
+            Simulation::new(&scenario, &w, &MinMin, &ReactiveOnly, config_no_boundary(), 1).run();
         assert!(
             r.robustness_pct() > 95.0,
             "underloaded robustness {:.1}% (fates: late {}, reactive {})",
@@ -802,8 +797,8 @@ mod tests {
     fn busy_time_and_cost_accrue() {
         let scenario = Scenario::specint(7);
         let w = small_workload(&scenario, 200, 10_000);
-        let r = Simulation::new(&scenario, &w, &MinMin, &ReactiveOnly, config_no_boundary(), 1)
-            .run();
+        let r =
+            Simulation::new(&scenario, &w, &MinMin, &ReactiveOnly, config_no_boundary(), 1).run();
         assert!(r.busy_ticks.iter().sum::<u64>() > 0);
         assert!(r.cost_dollars > 0.0);
         assert!(r.makespan > 0);
@@ -820,8 +815,7 @@ mod tests {
             approx: Some(ApproxSpec::new(0.4, 0.6)),
             ..SimConfig::default()
         };
-        let r = Simulation::new(&scenario, &w, &Pam, &ApproxDropper::paper_default(), cfg, 1)
-            .run();
+        let r = Simulation::new(&scenario, &w, &Pam, &ApproxDropper::paper_default(), cfg, 1).run();
         assert!(r.is_conserved(), "{r:?}");
         assert!(r.on_time_approx > 0, "degradation never engaged: {r:?}");
         assert!(r.utility_pct() > r.robustness_pct());
@@ -834,17 +828,9 @@ mod tests {
         let scenario = Scenario::specint(7);
         let w = small_workload(&scenario, 500, 3_000);
         let cfg = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
-        let a = Simulation::new(&scenario, &w, &Pam, &ApproxDropper::paper_default(), cfg, 1)
-            .run();
-        let h = Simulation::new(
-            &scenario,
-            &w,
-            &Pam,
-            &ProactiveDropper::paper_default(),
-            cfg,
-            1,
-        )
-        .run();
+        let a = Simulation::new(&scenario, &w, &Pam, &ApproxDropper::paper_default(), cfg, 1).run();
+        let h =
+            Simulation::new(&scenario, &w, &Pam, &ProactiveDropper::paper_default(), cfg, 1).run();
         assert_eq!(a, h, "with approx disabled the two policies must coincide");
     }
 
@@ -856,15 +842,9 @@ mod tests {
         let w = small_workload(&scenario, 800, 4_000);
         let base_cfg = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
         let approx_cfg = SimConfig { approx: Some(ApproxSpec::half_time()), ..base_cfg };
-        let plain = Simulation::new(
-            &scenario,
-            &w,
-            &Pam,
-            &ProactiveDropper::paper_default(),
-            base_cfg,
-            1,
-        )
-        .run();
+        let plain =
+            Simulation::new(&scenario, &w, &Pam, &ProactiveDropper::paper_default(), base_cfg, 1)
+                .run();
         let approx =
             Simulation::new(&scenario, &w, &Pam, &ApproxDropper::paper_default(), approx_cfg, 1)
                 .run();

@@ -44,9 +44,7 @@ impl SimReport {
     /// Panics if the report has no trials.
     #[must_use]
     pub fn cost_per_robustness(&self) -> Summary {
-        Summary::of(
-            &self.trials.iter().map(TrialResult::cost_per_robustness).collect::<Vec<_>>(),
-        )
+        Summary::of(&self.trials.iter().map(TrialResult::cost_per_robustness).collect::<Vec<_>>())
     }
 
     /// Fraction of drops that were reactive, over trials that dropped

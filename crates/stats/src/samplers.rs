@@ -178,8 +178,8 @@ mod tests {
         let n = NormalSampler;
         let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
     }
@@ -190,8 +190,8 @@ mod tests {
         let g = GammaSampler::new(7.5, 12.0);
         let samples = g.sample_n(&mut rng, 50_000);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - g.mean()).abs() / g.mean() < 0.02, "mean {mean} vs {}", g.mean());
         assert!((var - g.variance()).abs() / g.variance() < 0.08, "var {var}");
     }

@@ -57,8 +57,7 @@ impl Summary {
         if n < 2 {
             return Summary { n, mean, std_dev: 0.0, ci95: 0.0 };
         }
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
         let std_dev = var.sqrt();
         let ci95 = t_critical_95(n - 1) * std_dev / (n as f64).sqrt();
         Summary { n, mean, std_dev, ci95 }

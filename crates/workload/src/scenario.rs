@@ -90,10 +90,8 @@ impl Scenario {
     #[must_use]
     pub fn homogeneous(seed: u64) -> Self {
         let het = specint_mean_table();
-        let column: Vec<Vec<f64>> = het
-            .iter()
-            .map(|row| vec![row.iter().sum::<f64>() / row.len() as f64])
-            .collect();
+        let column: Vec<Vec<f64>> =
+            het.iter().map(|row| vec![row.iter().sum::<f64>() / row.len() as f64]).collect();
         ScenarioBuilder::new("homogeneous")
             .task_type_names(SPECINT_BENCHMARKS.iter().map(|s| s.to_string()))
             .machine_types([("uniform-node".to_string(), 0.45)])
@@ -252,8 +250,8 @@ impl ScenarioBuilder {
             let mut rng = new_rng(derive_seed(self.seed, 0x9E7 + idx as u64));
             let samples = sampler.sample_n(&mut rng, self.pet_samples);
             let hist = Histogram::from_samples(&samples, self.pet_bins);
-            let pmf = Pmf::from_weights(hist.to_mass_pairs(1))
-                .expect("histogram masses are positive");
+            let pmf =
+                Pmf::from_weights(hist.to_mass_pairs(1)).expect("histogram masses are positive");
             pet_cells.push(pmf);
         }
         let pet = PetMatrix::new(t, m, pet_cells);
@@ -279,9 +277,7 @@ impl ScenarioBuilder {
             })
             .collect();
         let machines: Vec<Machine> = (0..m)
-            .flat_map(|j| {
-                (0..self.machines_per_type).map(move |k| (j, k))
-            })
+            .flat_map(|j| (0..self.machines_per_type).map(move |k| (j, k)))
             .enumerate()
             .map(|(id, (j, _))| Machine::new(MachineId(id as u16), MachineTypeId(j as u16)))
             .collect();
@@ -318,7 +314,7 @@ mod tests {
         assert_eq!(s.task_type_count(), 4);
         assert_eq!(s.machine_types.len(), 4);
         assert_eq!(s.machine_count(), 8); // two per type
-        // Machines 0,1 share type 0; 2,3 share type 1; etc.
+                                          // Machines 0,1 share type 0; 2,3 share type 1; etc.
         assert_eq!(s.machines[0].type_id, s.machines[1].type_id);
         assert_ne!(s.machines[1].type_id, s.machines[2].type_id);
     }

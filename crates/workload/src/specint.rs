@@ -59,7 +59,8 @@ fn target_type_mean(i: usize) -> f64 {
 
 /// Builds the 12×8 mean execution-time table (row-major, ticks).
 ///
-/// Row means are calibrated exactly to [`target_type_mean`]; the raw cell
+/// Row means are calibrated exactly to the internal per-type target-mean
+/// schedule (50–200 ms, the paper's stated SPECint range); the raw cell
 /// pattern `speed(machine) · affinity((3i+5j) mod 7)` provides the
 /// inconsistency.
 #[must_use]
@@ -68,9 +69,8 @@ pub fn specint_mean_table() -> Vec<Vec<f64>> {
     let machines = SPECINT_MACHINES.len();
     let mut table = Vec::with_capacity(types);
     for i in 0..types {
-        let raw: Vec<f64> = (0..machines)
-            .map(|j| SPECINT_MACHINES[j].1 * AFFINITY[(3 * i + 5 * j) % 7])
-            .collect();
+        let raw: Vec<f64> =
+            (0..machines).map(|j| SPECINT_MACHINES[j].1 * AFFINITY[(3 * i + 5 * j) % 7]).collect();
         let raw_mean = raw.iter().sum::<f64>() / machines as f64;
         let scale = target_type_mean(i) / raw_mean;
         table.push(raw.iter().map(|r| r * scale).collect());

@@ -15,12 +15,8 @@ pub const TRANSCODE_TASK_TYPES: [&str; 4] =
 
 /// The four VM types (name, hourly price). Prices follow EC2's ordering:
 /// GPU > CPU-optimised > memory-optimised > general-purpose.
-pub const TRANSCODE_VM_TYPES: [(&str, f64); 4] = [
-    ("general-purpose", 0.33),
-    ("cpu-optimized", 0.60),
-    ("mem-optimized", 0.50),
-    ("gpu", 1.14),
-];
+pub const TRANSCODE_VM_TYPES: [(&str, f64); 4] =
+    [("general-purpose", 0.33), ("cpu-optimized", 0.60), ("mem-optimized", 0.50), ("gpu", 1.14)];
 
 /// Machines per VM type (the paper: "two machines for each type").
 pub const TRANSCODE_MACHINES_PER_TYPE: usize = 2;
@@ -50,8 +46,7 @@ mod tests {
     #[test]
     fn high_variation_across_types() {
         let t = transcode_mean_table();
-        let row_mean =
-            |r: &Vec<f64>| -> f64 { r.iter().sum::<f64>() / r.len() as f64 };
+        let row_mean = |r: &Vec<f64>| -> f64 { r.iter().sum::<f64>() / r.len() as f64 };
         let fastest = row_mean(&t[0]);
         let slowest = row_mean(&t[3]);
         assert!(

@@ -10,7 +10,8 @@
 //! utility over the effective depth.
 //!
 //! ```sh
-//! cargo run --release --example approximate_computing
+//! cargo run --release --example approximate_computing            # full scale
+//! cargo run --release --example approximate_computing -- --quick  # smoke scale
 //! ```
 
 use taskdrop::core::ApproxDropper;
@@ -18,15 +19,16 @@ use taskdrop::model::ApproxSpec;
 use taskdrop::prelude::*;
 
 fn main() {
+    let scale = taskdrop::demo::scale_from_args();
     let scenario = Scenario::specint(0xA5);
-    let level = OversubscriptionLevel::new("approx", 3_000, 16_000);
-    let runner = TrialRunner::new(4, 0xAB);
+    let level = OversubscriptionLevel::new("approx", 3_000, 16_000).scaled(scale);
+    let runner = TrialRunner::new(taskdrop::demo::quick_trials(4, scale), 0xAB);
 
-    println!("oversubscribed SPECint workload, {} tasks/trial, 4 trials\n", level.tasks);
     println!(
-        "{:<34} {:>14} {:>14} {:>10}",
-        "policy", "robustness %", "utility %", "degraded"
+        "oversubscribed SPECint workload, {} tasks/trial, {} trials\n",
+        level.tasks, runner.trials
     );
+    println!("{:<34} {:>14} {:>14} {:>10}", "policy", "robustness %", "utility %", "degraded");
 
     // Baseline: the paper's drop-only heuristic.
     let plain = RunSpec {
@@ -34,7 +36,7 @@ fn main() {
         gamma: 1.0,
         mapper: HeuristicKind::Pam,
         dropper: DropperKind::heuristic_default(),
-        config: SimConfig::default(),
+        config: taskdrop::demo::scaled_config(scale),
     };
     let report = runner.run(&scenario, &plain);
     let utility: Vec<f64> = report.trials.iter().map(|t| t.utility_pct()).collect();
@@ -54,7 +56,7 @@ fn main() {
             gamma: 1.0,
             mapper: HeuristicKind::Pam,
             dropper: DropperKind::Approx { beta: 1.0, eta: 2 },
-            config: SimConfig { approx: Some(spec), ..SimConfig::default() },
+            config: SimConfig { approx: Some(spec), ..taskdrop::demo::scaled_config(scale) },
         };
         let report = runner.run(&scenario, &run);
         let utility: Vec<f64> = report.trials.iter().map(|t| t.utility_pct()).collect();

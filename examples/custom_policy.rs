@@ -15,7 +15,8 @@
 //! autonomous proactive dropper cleans up behind it.
 //!
 //! ```sh
-//! cargo run --release --example custom_policy
+//! cargo run --release --example custom_policy            # full scale
+//! cargo run --release --example custom_policy -- --quick  # smoke scale
 //! ```
 
 use taskdrop::model::queue::{chain, ChainTask};
@@ -31,12 +32,8 @@ impl MappingHeuristic for RoundRobin {
     }
 
     fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        let mut free: Vec<(usize, usize)> = input
-            .machines
-            .iter()
-            .enumerate()
-            .map(|(mi, m)| (mi, m.free_slots))
-            .collect();
+        let mut free: Vec<(usize, usize)> =
+            input.machines.iter().enumerate().map(|(mi, m)| (mi, m.free_slots)).collect();
         let mut out = Vec::new();
         let mut mi = 0usize;
         for task_idx in 0..input.unmapped.len() {
@@ -70,21 +67,17 @@ impl DropPolicy for PanicThreshold {
         let tasks: Vec<ChainTask<'_>> = queue.chain_tasks();
         let links = chain(&queue.base(), &tasks, ctx.compaction);
         DropDecision::drops(
-            links
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.chance < 0.05)
-                .map(|(i, _)| i)
-                .collect(),
+            links.iter().enumerate().filter(|(_, l)| l.chance < 0.05).map(|(i, _)| i).collect(),
         )
     }
 }
 
 fn main() {
+    let scale = taskdrop::demo::scale_from_args();
     let scenario = Scenario::specint(0xA5);
-    let level = OversubscriptionLevel::new("demo", 3_000, 16_000);
+    let level = OversubscriptionLevel::new("demo", 3_000, 16_000).scaled(scale);
     let workload = Workload::generate(&scenario, &level, 1.0, 3);
-    let config = SimConfig::default();
+    let config = taskdrop::demo::scaled_config(scale);
 
     let mappers: Vec<(&str, Box<dyn MappingHeuristic>)> =
         vec![("RoundRobin (custom)", Box::new(RoundRobin)), ("PAM (paper)", Box::new(Pam))];
@@ -103,15 +96,9 @@ fn main() {
     for (mname, mapper) in &mappers {
         print!("{mname:<22}");
         for (_, dropper) in &droppers {
-            let r = Simulation::new(
-                &scenario,
-                &workload,
-                mapper.as_ref(),
-                dropper.as_ref(),
-                config,
-                1,
-            )
-            .run();
+            let r =
+                Simulation::new(&scenario, &workload, mapper.as_ref(), dropper.as_ref(), config, 1)
+                    .run();
             print!("{:>19.1}%", r.robustness_pct());
         }
         println!();

@@ -6,19 +6,21 @@
 //! heuristic makes before dropping a task.
 //!
 //! ```sh
-//! cargo run --example dropping_anatomy
+//! cargo run --example dropping_anatomy            # no workload: --quick is a no-op
 //! ```
 
 use taskdrop::model::queue::{chain, chance_sum, dependence_zone, influence_zone, ChainTask};
 use taskdrop::prelude::*;
 
 fn show(name: &str, pmf: &Pmf) {
-    let pairs: Vec<String> =
-        pmf.iter().map(|i| format!("P(t={}) = {:.2}", i.t, i.p)).collect();
+    let pairs: Vec<String> = pmf.iter().map(|i| format!("P(t={}) = {:.2}", i.t, i.p)).collect();
     println!("  {name}: {}", pairs.join(", "));
 }
 
 fn main() {
+    // Hand-built queues only — nothing to scale, but accept/validate the
+    // common example flags so the smoke test can drive every example alike.
+    let _ = taskdrop::demo::scale_from_args();
     println!("== Paper Figure 2: deadline-aware convolution ==\n");
     // Execution-time PMF of pending task i and completion PMF of task i-1,
     // exactly as printed in the paper.
@@ -39,7 +41,10 @@ fn main() {
     let i = 2;
     println!("  queue of {queue_len} tasks, task at position {i}:");
     println!("  dependence zone (determines when it starts): positions {:?}", dependence_zone(i));
-    println!("  influence zone (benefits if it is dropped) : positions {:?}\n", influence_zone(i, queue_len));
+    println!(
+        "  influence zone (benefits if it is dropped) : positions {:?}\n",
+        influence_zone(i, queue_len)
+    );
 
     println!("== Equation 8: the heuristic's drop decision ==\n");
     // A machine whose queue holds a doomed heavyweight blocking two light
@@ -54,7 +59,11 @@ fn main() {
     ];
     let links = chain(&base, &tasks, Compaction::None);
     for (k, l) in links.iter().enumerate() {
-        println!("  keep-everything chain: task {} chance = {:.2}", (b'A' + k as u8) as char, l.chance);
+        println!(
+            "  keep-everything chain: task {} chance = {:.2}",
+            (b'A' + k as u8) as char,
+            l.chance
+        );
     }
 
     let eta = 2;
@@ -73,11 +82,7 @@ fn main() {
     println!("\n  ProactiveDropper agrees: {:?}", {
         // Assemble the same queue as a policy view.
         use taskdrop::model::view::{PendingView, QueueView};
-        let pet = PetMatrix::new(
-            2,
-            1,
-            vec![heavy.clone(), light.clone()],
-        );
+        let pet = PetMatrix::new(2, 1, vec![heavy.clone(), light.clone()]);
         let queue = QueueView {
             machine: MachineId(0),
             machine_type: MachineTypeId(0),

@@ -7,16 +7,18 @@
 //! autonomous proactive dropper still earn its keep when machines flake?
 //!
 //! ```sh
-//! cargo run --release --example failure_injection
+//! cargo run --release --example failure_injection            # full scale
+//! cargo run --release --example failure_injection -- --quick  # smoke scale
 //! ```
 
 use taskdrop::prelude::*;
 use taskdrop::sim::FailureSpec;
 
 fn main() {
+    let scale = taskdrop::demo::scale_from_args();
     let scenario = Scenario::specint(0xA5);
-    let level = OversubscriptionLevel::new("flaky", 3_000, 16_000);
-    let runner = TrialRunner::new(4, 0xFA11);
+    let level = OversubscriptionLevel::new("flaky", 3_000, 16_000).scaled(scale);
+    let runner = TrialRunner::new(taskdrop::demo::quick_trials(4, scale), 0xFA11);
 
     println!(
         "{:>14} {:>8} {:>22} {:>22} {:>7}",
@@ -36,7 +38,7 @@ fn main() {
                 gamma: 1.0,
                 mapper: HeuristicKind::Pam,
                 dropper,
-                config: SimConfig { failures, ..SimConfig::default() },
+                config: SimConfig { failures, ..taskdrop::demo::scaled_config(scale) },
             };
             runner.run(&scenario, &spec)
         };

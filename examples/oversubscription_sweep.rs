@@ -6,14 +6,16 @@
 //! do) deep into overload (where it shines), at two slack settings.
 //!
 //! ```sh
-//! cargo run --release --example oversubscription_sweep
+//! cargo run --release --example oversubscription_sweep            # full scale
+//! cargo run --release --example oversubscription_sweep -- --quick  # smoke scale
 //! ```
 
 use taskdrop::prelude::*;
 
 fn main() {
+    let scale = taskdrop::demo::scale_from_args();
     let scenario = Scenario::specint(0xA5);
-    let runner = TrialRunner::new(3, 77);
+    let runner = TrialRunner::new(taskdrop::demo::quick_trials(3, scale), 77);
     let base_tasks = 2_000usize;
     // Rate multipliers relative to a roughly-balanced system.
     let multipliers = [0.5, 0.8, 1.0, 1.25, 1.6, 2.0, 2.6];
@@ -28,14 +30,14 @@ fn main() {
         );
         for mult in multipliers {
             let window = (base_window as f64 / mult) as u64;
-            let level = OversubscriptionLevel::new("sweep", base_tasks, window);
+            let level = OversubscriptionLevel::new("sweep", base_tasks, window).scaled(scale);
             let run = |dropper| {
                 let spec = RunSpec {
                     level: level.clone(),
                     gamma,
                     mapper: HeuristicKind::Pam,
                     dropper,
-                    config: SimConfig::default(),
+                    config: taskdrop::demo::scaled_config(scale),
                 };
                 runner.run(&scenario, &spec).robustness()
             };

@@ -8,7 +8,8 @@
 //! heuristics with and without the autonomous proactive dropper.
 //!
 //! ```sh
-//! cargo run --release --example video_transcoding
+//! cargo run --release --example video_transcoding            # full scale
+//! cargo run --release --example video_transcoding -- --quick  # smoke scale
 //! ```
 
 use taskdrop::prelude::*;
@@ -26,9 +27,13 @@ fn main() {
     }
 
     // Moderate oversubscription, like the paper's transcoding traces.
-    let level = OversubscriptionLevel::new("stream", 3_000, 36_000);
-    let runner = TrialRunner::new(5, 0xBEEF);
-    println!("\n{} tasks per trial, 5 trials; robustness = % completed on time\n", level.tasks);
+    let scale = taskdrop::demo::scale_from_args();
+    let level = OversubscriptionLevel::new("stream", 3_000, 36_000).scaled(scale);
+    let runner = TrialRunner::new(taskdrop::demo::quick_trials(5, scale), 0xBEEF);
+    println!(
+        "\n{} tasks per trial, {} trials; robustness = % completed on time\n",
+        level.tasks, runner.trials
+    );
 
     println!("| mapper | + proactive dropping | + reactive only |");
     println!("|--------|----------------------|-----------------|");
@@ -40,7 +45,7 @@ fn main() {
                 gamma: 1.0,
                 mapper,
                 dropper,
-                config: SimConfig::default(),
+                config: taskdrop::demo::scaled_config(scale),
             };
             let report = runner.run(&scenario, &spec);
             cells.push(format!("{}", report.robustness()));

@@ -29,16 +29,74 @@ pub use taskdrop_sim as sim;
 pub use taskdrop_stats as stats;
 pub use taskdrop_workload as workload;
 
+/// Helpers shared by the runnable examples (`examples/*.rs`).
+///
+/// Not part of the library's supported API (it reads process arguments and
+/// panics on unknown flags) — it lives here only because Cargo examples
+/// cannot easily share a module.
+#[doc(hidden)]
+pub mod demo {
+    /// The workload scale factor the examples' `--quick` flag maps to.
+    ///
+    /// Small enough that every example finishes in seconds (the smoke test
+    /// in `tests/examples_smoke.rs` runs them all), large enough that the
+    /// printed numbers are still qualitatively meaningful.
+    pub const QUICK_SCALE: f64 = 0.05;
+
+    /// Parses the examples' command line: `--quick` returns [`QUICK_SCALE`],
+    /// no arguments returns 1.0 (each example's documented demo scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on any other argument.
+    #[must_use]
+    pub fn scale_from_args() -> f64 {
+        let mut scale = 1.0;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => scale = QUICK_SCALE,
+                other => panic!("unknown argument {other}; expected --quick"),
+            }
+        }
+        scale
+    }
+
+    /// A [`SimConfig`](taskdrop_sim::SimConfig) whose metric exclusion
+    /// boundary shrinks with the workload scale: the paper's default
+    /// (exclude the first and last 100 tasks) would exclude an entire
+    /// `--quick`-scale workload and report 0 % robustness everywhere.
+    #[must_use]
+    pub fn scaled_config(scale: f64) -> taskdrop_sim::SimConfig {
+        let base = taskdrop_sim::SimConfig::default();
+        taskdrop_sim::SimConfig {
+            exclude_boundary: (base.exclude_boundary as f64 * scale).round() as usize,
+            ..base
+        }
+    }
+
+    /// Caps a trial count when running below full scale: quick smoke runs
+    /// keep at most 2 trials (so multi-trial aggregation is still
+    /// exercised) and at least 1. At full scale the count is unchanged.
+    #[must_use]
+    pub fn quick_trials(trials: usize, scale: f64) -> usize {
+        if scale < 1.0 {
+            trials.clamp(1, 2)
+        } else {
+            trials
+        }
+    }
+}
+
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use taskdrop_core::{
         ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
         ThresholdDropper,
     };
-    pub use taskdrop_model::ApproxSpec;
     pub use taskdrop_model::view::{
         Assignment, DropContext, MappingInput, QueueView, UnmappedView,
     };
+    pub use taskdrop_model::ApproxSpec;
     pub use taskdrop_model::{MachineId, MachineTypeId, PetMatrix, Task, TaskId, TaskTypeId};
     pub use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
     pub use taskdrop_sched::{Edf, Fcfs, HeuristicKind, MappingHeuristic, MinMin, Msd, Pam, Sjf};

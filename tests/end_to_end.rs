@@ -34,12 +34,7 @@ fn every_combination_conserves_tasks() {
             let m = mapper.build();
             let d = dropper.build();
             let r = Simulation::new(&scenario, &w, m.as_ref(), d.as_ref(), config, 5).run();
-            assert!(
-                r.is_conserved(),
-                "{}+{}: fates do not sum: {r:?}",
-                mapper.name(),
-                d.name()
-            );
+            assert!(r.is_conserved(), "{}+{}: fates do not sum: {r:?}", mapper.name(), d.name());
             let pct = r.robustness_pct();
             assert!((0.0..=100.0).contains(&pct), "{}: robustness {pct}", mapper.name());
         }
@@ -81,15 +76,8 @@ fn underload_needs_no_dropping() {
     let scenario = scenario();
     let w = workload(&scenario, 100, 60_000);
     let config = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
-    let r = Simulation::new(
-        &scenario,
-        &w,
-        &Pam,
-        &ProactiveDropper::paper_default(),
-        config,
-        5,
-    )
-    .run();
+    let r =
+        Simulation::new(&scenario, &w, &Pam, &ProactiveDropper::paper_default(), config, 5).run();
     assert!(r.robustness_pct() > 95.0, "underloaded robustness {:.1}", r.robustness_pct());
     assert!(
         r.dropped_proactive < 5,
@@ -115,8 +103,7 @@ fn homogeneous_scenario_runs_all_ordering_heuristics() {
             5,
         )
         .run();
-        let without =
-            Simulation::new(&scenario, &w, m.as_ref(), &ReactiveOnly, config, 5).run();
+        let without = Simulation::new(&scenario, &w, m.as_ref(), &ReactiveOnly, config, 5).run();
         assert!(with.is_conserved() && without.is_conserved());
         // Oversubscribed homogeneous system: dropping should help (allow a
         // small tolerance for noise at this tiny scale).
@@ -137,11 +124,8 @@ fn kill_at_deadline_ablation_changes_behaviour() {
     let scenario = scenario();
     let w = workload(&scenario, 500, 2_500);
     let kill = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
-    let no_kill = SimConfig {
-        exclude_boundary: 0,
-        kill_running_at_deadline: false,
-        ..SimConfig::default()
-    };
+    let no_kill =
+        SimConfig { exclude_boundary: 0, kill_running_at_deadline: false, ..SimConfig::default() };
     let with_kill = Simulation::new(&scenario, &w, &Pam, &ReactiveOnly, kill, 5).run();
     let without_kill = Simulation::new(&scenario, &w, &Pam, &ReactiveOnly, no_kill, 5).run();
     assert!(with_kill.is_conserved() && without_kill.is_conserved());

@@ -1,0 +1,70 @@
+//! Runs every `examples/*.rs` binary at `--quick` scale so the examples can
+//! never silently rot: they are compiled by `cargo test` alongside this
+//! suite, and this test executes each one and checks it exits cleanly with
+//! non-empty output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example in `examples/`. Keep in sync with the directory — the test
+/// fails loudly if a listed binary was not built, and
+/// `no_example_is_missing_from_this_list` fails if one is added but not
+/// listed here.
+const EXAMPLES: &[&str] = &[
+    "approximate_computing",
+    "custom_policy",
+    "dropping_anatomy",
+    "failure_injection",
+    "oversubscription_sweep",
+    "quickstart",
+    "video_transcoding",
+];
+
+/// `target/<profile>/examples`, derived from this test binary's own path
+/// (`target/<profile>/deps/examples_smoke-<hash>`).
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("test binary lives in target/<profile>/deps");
+    profile_dir.join("examples")
+}
+
+#[test]
+fn every_example_runs_at_quick_scale() {
+    let dir = examples_dir();
+    for name in EXAMPLES {
+        let path = dir.join(name);
+        assert!(
+            path.is_file(),
+            "example `{name}` not found at {path:?}; run this suite via `cargo test` \
+             so example binaries are built alongside it"
+        );
+        let output = Command::new(&path)
+            .arg("--quick")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example `{name}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(!output.stdout.is_empty(), "example `{name}` printed nothing on stdout");
+    }
+}
+
+#[test]
+fn no_example_is_missing_from_this_list() {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest_dir.join("examples"))
+        .expect("examples/ directory")
+        .filter_map(|entry| {
+            let name = entry.expect("dir entry").file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, EXAMPLES, "EXAMPLES list out of sync with examples/");
+}

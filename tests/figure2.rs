@@ -30,8 +30,7 @@ fn figure2_through_queue_chain() {
     // the dropping policies.
     let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
     let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
-    let links =
-        chain(&prev, &[ChainTask { deadline: 13, exec: &exec }], Compaction::None);
+    let links = chain(&prev, &[ChainTask { deadline: 13, exec: &exec }], Compaction::None);
     assert_eq!(links.len(), 1);
     assert!(close(links[0].chance, 0.78));
     assert!(close(links[0].completion.at(11), 0.36));
@@ -43,8 +42,7 @@ fn figure2_is_compaction_safe() {
     // The default compaction must not disturb a 4-impulse PMF.
     let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
     let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
-    let links =
-        chain(&prev, &[ChainTask { deadline: 13, exec: &exec }], Compaction::default());
+    let links = chain(&prev, &[ChainTask { deadline: 13, exec: &exec }], Compaction::default());
     assert!(close(links[0].chance, 0.78));
     assert_eq!(links[0].completion.len(), 4);
 }

@@ -79,8 +79,9 @@ fn dropping_equalises_mapping_heuristics() {
                 .mean,
         );
     }
-    let spread =
-        |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
     assert!(
         spread(&with) < spread(&without),
         "dropping should shrink the spread: with {with:?} vs without {without:?}"
@@ -151,10 +152,9 @@ fn transcode_validation_holds() {
     let scenario = Scenario::transcode(0xA5);
     let mut gains = Vec::new();
     for mapper in [HeuristicKind::Msd, HeuristicKind::MinMin, HeuristicKind::Pam] {
-        let with = runner()
-            .run(&scenario, &spec(mapper, DropperKind::heuristic_default(), 800, 6_500));
-        let without =
-            runner().run(&scenario, &spec(mapper, DropperKind::ReactiveOnly, 800, 6_500));
+        let with =
+            runner().run(&scenario, &spec(mapper, DropperKind::heuristic_default(), 800, 6_500));
+        let without = runner().run(&scenario, &spec(mapper, DropperKind::ReactiveOnly, 800, 6_500));
         gains.push(with.robustness().mean - without.robustness().mean);
     }
     assert!(

@@ -1,0 +1,230 @@
+//! String-assembled impl generation.
+
+use crate::{Field, FieldDefault, Item, Kind, VariantKind};
+
+const VALUE: &str = "::serde::value::Value";
+const ERROR: &str = "::serde::error::Error";
+
+pub(crate) fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.attrs.into {
+        format!(
+            "let __tmp: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__tmp)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) if item.attrs.transparent => {
+                assert_eq!(fields.len(), 1, "transparent struct `{name}` must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            }
+            Kind::Struct(fields) => {
+                let mut pushes = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    pushes.push_str(&format!(
+                        "__entries.push((::std::string::String::from(\"{fname}\"), \
+                         ::serde::Serialize::to_value(&self.{fname})));\n"
+                    ));
+                }
+                format!(
+                    "let mut __entries: ::std::vec::Vec<(::std::string::String, {VALUE})> = \
+                     ::std::vec::Vec::new();\n{pushes}{VALUE}::Map(__entries)"
+                )
+            }
+            Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::Tuple(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Kind::Unit => format!("{VALUE}::Null"),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let tag = format!("::std::string::String::from(\"{vname}\")");
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            arms.push_str(&format!("{name}::{vname} => {VALUE}::Str({tag}),\n"))
+                        }
+                        VariantKind::Newtype => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {VALUE}::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname}({}) => {VALUE}::Map(::std::vec![({tag}, \
+                                 {VALUE}::Seq(::std::vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), \
+                                         ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => {VALUE}::Map(::std::vec![({tag}, \
+                                 {VALUE}::Map(::std::vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The `None =>` arm of a named-field lookup.
+fn missing_field_expr(field: &Field) -> String {
+    match &field.default {
+        Some(FieldDefault::Std) => "::std::default::Default::default()".to_string(),
+        Some(FieldDefault::Path(path)) => format!("{path}()"),
+        None => format!(
+            "return ::std::result::Result::Err({ERROR}::custom(\
+             \"missing field `{}`\"))",
+            field.name
+        ),
+    }
+}
+
+/// Builds `Ctor { f: .., .. }` from `__entries: &Vec<(String, Value)>`.
+fn named_fields_ctor(ctor: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        inits.push_str(&format!(
+            "{fname}: match __entries.iter().find(|(__k, _)| __k == \"{fname}\") {{\n\
+             ::std::option::Option::Some((_, __v)) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::std::option::Option::None => {},\n}},\n",
+            missing_field_expr(f)
+        ));
+    }
+    format!("{ctor} {{\n{inits}}}")
+}
+
+pub(crate) fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_ty) = &item.attrs.try_from {
+        format!(
+            "let __tmp: {try_ty} = ::serde::Deserialize::from_value(__value)?;\n\
+             ::std::convert::TryFrom::try_from(__tmp).map_err({ERROR}::custom)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) if item.attrs.transparent => {
+                assert_eq!(fields.len(), 1, "transparent struct `{name}` must have one field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__value)? }})",
+                    fields[0].name
+                )
+            }
+            Kind::Struct(fields) => format!(
+                "match __value {{\n\
+                 {VALUE}::Map(__entries) => ::std::result::Result::Ok({}),\n\
+                 __other => ::std::result::Result::Err({ERROR}::custom(::std::format!(\
+                 \"invalid type for `{name}`: expected object, found {{}}\", __other.kind()))),\n\
+                 }}",
+                named_fields_ctor(name, fields)
+            ),
+            Kind::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Kind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __value {{\n\
+                     {VALUE}::Seq(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::std::result::Result::Err({ERROR}::custom(\
+                     \"invalid tuple for `{name}`\")),\n}}",
+                    items.join(", ")
+                )
+            }
+            Kind::Unit => format!("::std::result::Result::Ok({name})"),
+            Kind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantKind::Newtype => tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                 {VALUE}::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                 _ => ::std::result::Result::Err({ERROR}::custom(\
+                                 \"invalid tuple variant `{vname}`\")),\n}},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                             {VALUE}::Map(__entries) => ::std::result::Result::Ok({}),\n\
+                             _ => ::std::result::Result::Err({ERROR}::custom(\
+                             \"invalid struct variant `{vname}`\")),\n}},\n",
+                            named_fields_ctor(&format!("{name}::{vname}"), fields)
+                        )),
+                    }
+                }
+                format!(
+                    "match __value {{\n\
+                     {VALUE}::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err({ERROR}::custom(::std::format!(\
+                     \"unknown variant `{{__other}}` of `{name}`\"))),\n}},\n\
+                     {VALUE}::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __inner) = &__m[0];\n\
+                     match __k.as_str() {{\n{tagged_arms}\
+                     __other => ::std::result::Result::Err({ERROR}::custom(::std::format!(\
+                     \"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}},\n\
+                     __other => ::std::result::Result::Err({ERROR}::custom(::std::format!(\
+                     \"invalid type for enum `{name}`: found {{}}\", __other.kind()))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &{VALUE}) -> ::std::result::Result<Self, {ERROR}> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

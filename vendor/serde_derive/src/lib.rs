@@ -1,0 +1,84 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! No `syn`/`quote`: the item is parsed directly from the raw
+//! [`proc_macro::TokenStream`] and the generated impl is assembled as a
+//! string. Supported shapes (everything the `taskdrop` workspace uses):
+//!
+//! * structs with named fields, tuple structs (newtype serialises
+//!   transparently), unit structs;
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged like real serde;
+//! * container attributes `transparent`, `try_from = "T"`, `into = "T"`;
+//! * field attributes `default`, `default = "path"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod codegen;
+mod parse;
+
+/// Derives the stand-in `serde::Serialize` (a `to_value` impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    codegen::serialize_impl(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` (a `from_value` impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    codegen::deserialize_impl(&item).parse().expect("generated Deserialize impl parses")
+}
+
+pub(crate) struct Item {
+    pub name: String,
+    pub attrs: ContainerAttrs,
+    pub kind: Kind,
+}
+
+#[derive(Default)]
+pub(crate) struct ContainerAttrs {
+    pub transparent: bool,
+    pub try_from: Option<String>,
+    pub into: Option<String>,
+}
+
+pub(crate) enum Kind {
+    /// `struct S { .. }`
+    Struct(Vec<Field>),
+    /// `struct S( .. );` with the given arity
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+pub(crate) struct Field {
+    pub name: String,
+    pub default: Option<FieldDefault>,
+}
+
+pub(crate) enum FieldDefault {
+    /// `#[serde(default)]`
+    Std,
+    /// `#[serde(default = "path")]`
+    Path(String),
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub kind: VariantKind,
+}
+
+pub(crate) enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+pub(crate) fn is_group(tt: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == delim)
+}

@@ -1,0 +1,251 @@
+//! Token-level parser for the derive input.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::{is_group, ContainerAttrs, Field, FieldDefault, Item, Kind, Variant, VariantKind};
+
+pub(crate) fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let mut attrs = ContainerAttrs::default();
+    let mut container_default: Option<FieldDefault> = None;
+    consume_attrs(&tokens, &mut pos, &mut attrs, &mut container_default);
+    assert!(
+        container_default.is_none(),
+        "container-level #[serde(default)] is not supported by the serde stand-in \
+         (put it on individual fields instead)"
+    );
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::Unit,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde derive supports structs and enums, found `{other}`"),
+    };
+
+    Item { name, attrs, kind }
+}
+
+/// Consumes leading `#[..]` attributes. `serde(..)` attributes update
+/// `container` / `field_default`; everything else (doc comments, other
+/// derives' helpers) is skipped.
+fn consume_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    container: &mut ContainerAttrs,
+    field_default: &mut Option<FieldDefault>,
+) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let group = match tokens.get(*pos + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.clone(),
+            other => panic!("expected [..] after #, found {other:?}"),
+        };
+        *pos += 2;
+
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("expected serde(..), found {other:?}"),
+        };
+        parse_serde_args(args, container, field_default);
+    }
+}
+
+fn parse_serde_args(
+    args: TokenStream,
+    container: &mut ContainerAttrs,
+    field_default: &mut Option<FieldDefault>,
+) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let key = expect_ident(&tokens, &mut pos);
+        let value = if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            match tokens.get(pos) {
+                Some(TokenTree::Literal(lit)) => {
+                    pos += 1;
+                    Some(unquote(&lit.to_string()))
+                }
+                other => panic!("expected string literal after `{key} =`, found {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", None) => *field_default = Some(FieldDefault::Std),
+            ("default", Some(path)) => *field_default = Some(FieldDefault::Path(path)),
+            ("transparent", None) => container.transparent = true,
+            ("try_from", Some(ty)) => container.try_from = Some(ty),
+            ("into", Some(ty)) => container.into = Some(ty),
+            (other, _) => panic!("unsupported serde attribute `{other}`"),
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut ignored = ContainerAttrs::default();
+        let mut default = None;
+        consume_attrs(&tokens, &mut pos, &mut ignored, &mut default);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the comma-separated fields of a tuple struct / tuple variant,
+/// ignoring per-field attributes and visibility.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // The `>` of a `->` return arrow is not a closing bracket.
+                '>' if !is_arrow_tail(&tokens, i) => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let mut ignored = ContainerAttrs::default();
+        let mut ignored_default = None;
+        consume_attrs(&tokens, &mut pos, &mut ignored, &mut ignored_default);
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit enum discriminants are not supported by the serde stand-in");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Skips a type, stopping at a comma at angle-bracket depth zero (or end of
+/// input). Parenthesised/bracketed sub-types are single `Group` tokens, so
+/// only `<`/`>` need depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // The `>` of a `->` return arrow is not a closing bracket.
+                '>' if !is_arrow_tail(tokens, *pos) => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Whether `tokens[i]` (a `>` punct) is the tail of a `->` return arrow:
+/// the previous token is a `-` punct with joint spacing.
+fn is_arrow_tail(tokens: &[TokenTree], i: usize) -> bool {
+    i > 0
+        && matches!(&tokens[i - 1], TokenTree::Punct(prev)
+            if prev.as_char() == '-' && prev.spacing() == proc_macro::Spacing::Joint)
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(tt) if is_group(tt, Delimiter::Parenthesis)) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let lit = lit.trim();
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("expected a plain string literal, found {lit}"));
+    inner.to_string()
+}
