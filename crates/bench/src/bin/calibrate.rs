@@ -46,7 +46,7 @@ fn main() {
                 "gamma={gamma:.1} level={:>3} tasks={:>6} robustness={} reactive-share={} wall={:.2?}/2trials",
                 level.label,
                 level.tasks,
-                report.robustness(),
+                report.robustness().expect("at least one trial"),
                 react,
                 dt
             );

@@ -60,8 +60,8 @@ fn main() {
         "{} @ {}: robustness {} | cost/robustness {:.4}",
         report.label(),
         report.level,
-        report.robustness(),
-        report.cost_per_robustness().mean,
+        report.robustness().expect("at least one trial"),
+        report.cost_per_robustness().expect("at least one trial").mean,
     );
     println!("{}", serde_json::to_string_pretty(&report).expect("report"));
 }

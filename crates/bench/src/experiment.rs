@@ -7,7 +7,7 @@ use taskdrop_workload::Scenario;
 /// Execution scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Scale {
-    /// Tiny smoke scale: paper task counts × 0.02, 3 trials.
+    /// Tiny smoke scale: paper task counts × 0.02, 2 trials.
     Quick,
     /// Laptop scale (the recorded results): × 0.15, 10 trials.
     Medium,
@@ -30,7 +30,7 @@ impl Scale {
     #[must_use]
     pub fn trials(self) -> usize {
         match self {
-            Scale::Quick => 3,
+            Scale::Quick => 2,
             Scale::Medium => 10,
             Scale::Full => 30,
         }
@@ -116,9 +116,9 @@ impl Experiment {
         let runner = TrialRunner::new(scale.trials(), master_seed);
         let report = runner.run(scenario, spec);
         let summary = match metric {
-            Metric::Robustness => report.robustness(),
+            Metric::Robustness => report.robustness().expect("runner produced trials"),
             Metric::CostPerRobustness => {
-                let mut s = report.cost_per_robustness();
+                let mut s = report.cost_per_robustness().expect("runner produced trials");
                 s.mean *= 100.0;
                 s.ci95 *= 100.0;
                 s

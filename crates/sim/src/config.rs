@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::error::SimError;
 use serde::{Deserialize, Serialize};
 use taskdrop_core::{DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly, ThresholdDropper};
 use taskdrop_pmf::Compaction;
@@ -24,12 +25,14 @@ pub struct FailureSpec {
 impl FailureSpec {
     /// Validates the spec.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either duration is zero.
-    pub fn validate(&self) {
-        assert!(self.mtbf > 0, "MTBF must be positive");
-        assert!(self.mttr > 0, "MTTR must be positive");
+    /// [`SimError::DegenerateFailureSpec`] if either duration is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.mtbf == 0 || self.mttr == 0 {
+            return Err(SimError::DegenerateFailureSpec { mtbf: self.mtbf, mttr: self.mttr });
+        }
+        Ok(())
     }
 
     /// Steady-state availability `mtbf / (mtbf + mttr)`.
@@ -85,14 +88,19 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Validates invariants (queue size at least 1, failure spec sane).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `queue_size == 0` or the failure spec is degenerate.
-    pub fn validate(&self) {
-        assert!(self.queue_size >= 1, "queue size must be at least 1");
-        if let Some(f) = &self.failures {
-            f.validate();
+    /// [`SimError::ZeroQueueSize`] if `queue_size == 0`,
+    /// [`SimError::DegenerateFailureSpec`] if the failure spec is
+    /// degenerate.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.queue_size == 0 {
+            return Err(SimError::ZeroQueueSize);
         }
+        if let Some(f) = &self.failures {
+            f.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -170,7 +178,7 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.queue_size, 6);
         assert_eq!(c.exclude_boundary, 100);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
@@ -190,8 +198,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "queue size")]
     fn zero_queue_rejected() {
-        SimConfig { queue_size: 0, ..SimConfig::default() }.validate();
+        let err = SimConfig { queue_size: 0, ..SimConfig::default() }.validate();
+        assert_eq!(err, Err(SimError::ZeroQueueSize));
+    }
+
+    #[test]
+    fn degenerate_failure_spec_rejected() {
+        let cfg =
+            SimConfig { failures: Some(FailureSpec { mtbf: 0, mttr: 10 }), ..SimConfig::default() };
+        assert_eq!(cfg.validate(), Err(SimError::DegenerateFailureSpec { mtbf: 0, mttr: 10 }));
+        assert!((FailureSpec { mtbf: 900, mttr: 100 }).validate().is_ok());
     }
 }

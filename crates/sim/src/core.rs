@@ -1,0 +1,1163 @@
+//! The resumable simulation core: an explicit-lifecycle state machine.
+//!
+//! [`SimCore`] owns one trial's complete state — machines, queues, the event
+//! heap, and per-task fate accounting — and advances it one *mapping event*
+//! at a time via [`SimCore::step`]. This replaces the batch-only
+//! `Simulation::run()` entry point (now a thin wrapper) with a lifecycle
+//! that production-style drivers need:
+//!
+//! * [`SimCore::step`] — process the next event timestamp (all simultaneous
+//!   events, then one mapping event), returning a [`StepOutcome`];
+//! * [`SimCore::run_until`] — step while events at or before a tick remain;
+//! * [`SimCore::inject`] — admit a task *after* construction (open-world
+//!   arrivals: the paper frames dropping as an online decision made at each
+//!   mapping event, so tasks need not be known up front);
+//! * [`SimCore::state`] — a read-only snapshot of queues and machines
+//!   mid-trial;
+//! * [`SimObserver`]s attached with [`SimCore::attach`] — a streaming view
+//!   of every map/start/complete/drop/degrade/kill/failure/repair decision.
+//!
+//! Stepping a core to completion is **byte-identical** to the legacy batch
+//! run for the same inputs (enforced by `tests/core_equivalence.rs`):
+//! observers are strictly read-only and the event-processing order is
+//! exactly the old run loop's. One deliberate exception: a *zero-task*
+//! workload (impossible via `Workload::generate`, whose levels require at
+//! least one task) drains immediately at t = 0, whereas the pre-redesign
+//! loop would first process the earliest failure-timeline event if failure
+//! injection was configured.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{TaskFate, TrialResult};
+use crate::observer::{DropKind, SimEvent, SimObserver};
+use std::collections::VecDeque;
+use taskdrop_core::DropPolicy;
+use taskdrop_model::queue as qchain;
+use taskdrop_model::view::{
+    DropContext, MachineView, MappingInput, PendingView, QueueView, RunningView, UnmappedView,
+};
+use taskdrop_model::{Machine, PetMatrix, Task, TaskId, TaskTypeId};
+use taskdrop_pmf::{Pmf, Tick};
+use taskdrop_sched::MappingHeuristic;
+use taskdrop_stats::{derive_seed, new_rng};
+use taskdrop_workload::{Scenario, Workload};
+
+/// A task currently executing on a machine.
+struct RunningTask {
+    task: Task,
+    start: Tick,
+    finish: Tick,
+    /// Running the approximate (degraded) variant.
+    degraded: bool,
+}
+
+/// A task waiting in a machine queue, possibly degraded to its approximate
+/// variant by the dropping policy.
+#[derive(Debug, Clone, Copy)]
+struct QueuedTask {
+    task: Task,
+    degraded: bool,
+}
+
+/// Mutable per-machine state.
+struct MachineSt {
+    machine: Machine,
+    running: Option<RunningTask>,
+    pending: VecDeque<QueuedTask>,
+    busy_ticks: u64,
+    /// Incremented each time a task starts; stamps Completion/DeadlineKill
+    /// events so stale ones (for an already-ended execution) are ignored.
+    epoch: u64,
+    /// Failure injection: the machine is down (cannot start tasks).
+    down: bool,
+}
+
+impl MachineSt {
+    fn occupancy(&self) -> usize {
+        usize::from(self.running.is_some()) + self.pending.len()
+    }
+}
+
+/// Records the single fate of every admitted task and how many are resolved,
+/// letting the core report drain as soon as all work is accounted for
+/// (important under failure injection, whose repair events extend past the
+/// drain).
+struct FateBook {
+    fates: Vec<Option<TaskFate>>,
+    resolved: usize,
+}
+
+impl FateBook {
+    fn new(n: usize) -> Self {
+        FateBook { fates: vec![None; n], resolved: 0 }
+    }
+
+    fn set(&mut self, task: TaskId, fate: TaskFate) {
+        let slot = &mut self.fates[task.index()];
+        debug_assert!(slot.is_none(), "task {task} assigned two fates");
+        *slot = Some(fate);
+        self.resolved += 1;
+    }
+
+    fn push_slot(&mut self) {
+        self.fates.push(None);
+    }
+
+    fn all_resolved(&self) -> bool {
+        self.resolved == self.fates.len()
+    }
+}
+
+/// What one [`SimCore::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One event timestamp was processed; more events are pending.
+    Advanced {
+        /// Simulation time after the step.
+        now: Tick,
+    },
+    /// No events are scheduled but admitted tasks remain unresolved. Only
+    /// reachable on an [open](SimCore::open) core between injections; the
+    /// closed-world invariant (every unresolved task has a pending event)
+    /// makes it impossible after [`SimCore::new`].
+    Idle {
+        /// Current simulation time (unchanged).
+        now: Tick,
+    },
+    /// Every admitted task has a fate; [`SimCore::result`] is available.
+    /// Further steps are no-ops until new work is [injected](SimCore::inject).
+    Drained {
+        /// Simulation time of the final mapping event.
+        now: Tick,
+    },
+}
+
+impl StepOutcome {
+    /// Whether the core has resolved every admitted task.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        matches!(self, StepOutcome::Drained { .. })
+    }
+
+    /// The simulation time this outcome reports.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        match *self {
+            StepOutcome::Advanced { now }
+            | StepOutcome::Idle { now }
+            | StepOutcome::Drained { now } => now,
+        }
+    }
+}
+
+/// Read-only snapshot of a queued task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedState {
+    /// The waiting task.
+    pub task: Task,
+    /// Whether the dropping policy degraded it to its approximate variant.
+    pub degraded: bool,
+}
+
+/// Read-only snapshot of a running execution.
+///
+/// Deliberately omits the engine's realised finish tick: a driver inspecting
+/// state mid-trial faces the same execution-time uncertainty the policies
+/// do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningState {
+    /// The executing task.
+    pub task: Task,
+    /// Tick at which it started.
+    pub start: Tick,
+    /// Whether it runs the approximate (degraded) variant.
+    pub degraded: bool,
+}
+
+/// Read-only snapshot of one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    /// The machine.
+    pub machine: Machine,
+    /// Whether the machine is down (failure injection).
+    pub down: bool,
+    /// Busy ticks accrued so far.
+    pub busy_ticks: u64,
+    /// The current execution, if any.
+    pub running: Option<RunningState>,
+    /// Queued tasks in FCFS order.
+    pub pending: Vec<QueuedState>,
+}
+
+/// Read-only snapshot of the whole core, from [`SimCore::state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimState {
+    /// Current simulation time.
+    pub now: Tick,
+    /// Tasks admitted so far (initial workload + injected).
+    pub total_tasks: usize,
+    /// Tasks whose fate is decided.
+    pub resolved_tasks: usize,
+    /// Mapping events processed so far.
+    pub mapping_events: u64,
+    /// Unmapped tasks waiting in the batch queue.
+    pub batch: Vec<Task>,
+    /// Per-machine queue snapshots.
+    pub machines: Vec<MachineState>,
+}
+
+/// One resumable trial: scenario + policies + mutable trial state.
+///
+/// ```
+/// use taskdrop_sim::{SimConfig, SimCore, StepOutcome};
+/// use taskdrop_workload::{OversubscriptionLevel, Scenario, Workload};
+/// use taskdrop_sched::Pam;
+/// use taskdrop_core::ProactiveDropper;
+///
+/// let scenario = Scenario::specint(7);
+/// let level = OversubscriptionLevel::new("demo", 300, 4_000);
+/// let workload = Workload::generate(&scenario, &level, 3.0, 1);
+/// let dropper = ProactiveDropper::paper_default();
+/// let config = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
+/// let mut core = SimCore::new(&scenario, &workload, &Pam, &dropper, config, 1).unwrap();
+/// // Drive the trial event by event.
+/// while let StepOutcome::Advanced { .. } = core.step() {}
+/// let result = core.result().unwrap();
+/// assert!(result.is_conserved());
+/// ```
+pub struct SimCore<'a> {
+    scenario: &'a Scenario,
+    mapper: &'a dyn MappingHeuristic,
+    dropper: &'a dyn DropPolicy,
+    config: SimConfig,
+    exec_seed: u64,
+    /// Degraded-variant PET, shared by the policy views and the chain
+    /// computations (built once; cells are time-scaled copies).
+    approx_pet: Option<PetMatrix>,
+    /// Every admitted task, indexed by `TaskId` (dense ids).
+    tasks: Vec<Task>,
+    machines: Vec<MachineSt>,
+    batch: Vec<Task>,
+    events: EventQueue,
+    fates: FateBook,
+    now: Tick,
+    mapping_events: u64,
+    observers: Vec<Box<dyn SimObserver + 'a>>,
+}
+
+impl<'a> SimCore<'a> {
+    /// Assembles a trial from a pre-generated workload. `exec_seed` drives
+    /// the *actual* execution-time draws; each (task, machine) pair gets an
+    /// independent deterministic stream, so different policies facing the
+    /// same workload see the same realised execution times.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ZeroQueueSize`] / [`SimError::DegenerateFailureSpec`] for
+    /// an invalid `config`; [`SimError::MisnumberedWorkload`] if the
+    /// workload's task ids are not the dense sequence `0..len`.
+    pub fn new(
+        scenario: &'a Scenario,
+        workload: &Workload,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        config: SimConfig,
+        exec_seed: u64,
+    ) -> Result<Self, SimError> {
+        for (index, task) in workload.tasks.iter().enumerate() {
+            if task.id.index() != index {
+                return Err(SimError::MisnumberedWorkload { index, id: task.id.0 });
+            }
+        }
+        Self::assemble(scenario, workload.tasks.clone(), mapper, dropper, config, exec_seed)
+    }
+
+    /// Assembles an *open-world* core with no initial workload: every task
+    /// arrives later through [`SimCore::inject`]. Failure timelines (if
+    /// configured) are pre-generated out to the same fixed margin a
+    /// zero-horizon workload would get.
+    ///
+    /// # Errors
+    ///
+    /// Same configuration errors as [`SimCore::new`].
+    pub fn open(
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        config: SimConfig,
+        exec_seed: u64,
+    ) -> Result<Self, SimError> {
+        Self::assemble(scenario, Vec::new(), mapper, dropper, config, exec_seed)
+    }
+
+    fn assemble(
+        scenario: &'a Scenario,
+        tasks: Vec<Task>,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        config: SimConfig,
+        exec_seed: u64,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let machines: Vec<MachineSt> = scenario
+            .machines
+            .iter()
+            .map(|&machine| MachineSt {
+                machine,
+                running: None,
+                pending: VecDeque::with_capacity(config.queue_size),
+                busy_ticks: 0,
+                epoch: 0,
+                down: false,
+            })
+            .collect();
+        let mut events = EventQueue::new();
+        for (i, t) in tasks.iter().enumerate() {
+            events.push(t.arrival, Event::Arrival(i));
+        }
+        let approx_pet =
+            config.approx.map(|spec| taskdrop_model::approx::degraded_pet(&scenario.pet, spec));
+        let fates = FateBook::new(tasks.len());
+        let mut core = SimCore {
+            scenario,
+            mapper,
+            dropper,
+            config,
+            exec_seed,
+            approx_pet,
+            tasks,
+            machines,
+            batch: Vec::new(),
+            events,
+            fates,
+            now: 0,
+            mapping_events: 0,
+            observers: Vec::new(),
+        };
+        core.schedule_failures();
+        Ok(core)
+    }
+
+    /// Pre-generates each machine's failure/repair timeline (exponential
+    /// up/down durations) out to a horizon comfortably past the last initial
+    /// arrival — deadlines are short relative to the window, so the system
+    /// drains long before the horizon. Timelines derive from the exec seed,
+    /// so a given trial sees the same outages under every policy.
+    fn schedule_failures(&mut self) {
+        let Some(spec) = self.config.failures else { return };
+        let last_arrival = self.tasks.last().map_or(0, |t| t.arrival);
+        let horizon = last_arrival.saturating_mul(2) + 120_000;
+        let up = taskdrop_stats::ExponentialSampler::new(1.0 / spec.mtbf as f64);
+        let repair = taskdrop_stats::ExponentialSampler::new(1.0 / spec.mttr as f64);
+        for machine in &self.scenario.machines {
+            let mut rng = new_rng(derive_seed(self.exec_seed, 0xFA11_0000 + machine.id.0 as u64));
+            let mut t = 0.0f64;
+            loop {
+                let fail_at = t + up.sample(&mut rng).max(1.0);
+                if fail_at >= horizon as f64 {
+                    break;
+                }
+                let up_at = fail_at + repair.sample(&mut rng).max(1.0);
+                self.events.push(fail_at.round() as Tick, Event::MachineFailure(machine.id));
+                self.events.push(up_at.round() as Tick, Event::MachineRepair(machine.id));
+                t = up_at;
+            }
+        }
+    }
+
+    /// Attaches a streaming observer; it receives every subsequent
+    /// [`SimEvent`] in simulation order. Observers are read-only and cannot
+    /// change the trial's outcome.
+    pub fn attach(&mut self, observer: impl SimObserver + 'a) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Admits a new task mid-trial (open-world arrival). The core assigns
+    /// the next dense [`TaskId`] and schedules the arrival; the task behaves
+    /// exactly as if it had been part of the initial workload.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownTaskType`] for a type the scenario lacks,
+    /// [`SimError::InjectedInPast`] if `arrival` precedes the current
+    /// simulation time, [`SimError::InvalidDeadline`] if
+    /// `deadline <= arrival`.
+    pub fn inject(
+        &mut self,
+        type_id: TaskTypeId,
+        arrival: Tick,
+        deadline: Tick,
+    ) -> Result<TaskId, SimError> {
+        if type_id.index() >= self.scenario.task_type_count() {
+            return Err(SimError::UnknownTaskType {
+                type_id: type_id.0,
+                task_types: self.scenario.task_type_count(),
+            });
+        }
+        if arrival < self.now {
+            return Err(SimError::InjectedInPast { now: self.now, arrival });
+        }
+        if deadline <= arrival {
+            return Err(SimError::InvalidDeadline { arrival, deadline });
+        }
+        let id = TaskId(self.tasks.len() as u64);
+        let task = Task { id, type_id, arrival, deadline };
+        self.tasks.push(task);
+        self.fates.push_slot();
+        self.events.push(arrival, Event::Arrival(id.index()));
+        Ok(id)
+    }
+
+    /// Processes the next event timestamp: every event sharing it, then one
+    /// mapping event for the batch (a mapping event is "triggered by
+    /// completing or arrival of a task"). Returns where that leaves the
+    /// trial. Once [`StepOutcome::Drained`], further calls are no-ops until
+    /// new work is [injected](SimCore::inject); remaining failure-timeline
+    /// events have nothing left to disturb and stay unprocessed, matching
+    /// the legacy batch run.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.fates.all_resolved() {
+            return StepOutcome::Drained { now: self.now };
+        }
+        let Some((t, ev)) = self.events.pop() else {
+            return StepOutcome::Idle { now: self.now };
+        };
+        self.now = t;
+        self.handle(ev);
+        while self.events.peek_time() == Some(self.now) {
+            let (_, ev) = self.events.pop().expect("peeked");
+            self.handle(ev);
+        }
+        self.mapping_event();
+        self.mapping_events += 1;
+        emit(&mut self.observers, SimEvent::MappingRound { now: self.now });
+        if self.fates.all_resolved() {
+            StepOutcome::Drained { now: self.now }
+        } else {
+            StepOutcome::Advanced { now: self.now }
+        }
+    }
+
+    /// Steps while events at or before `tick` remain (and the core is not
+    /// drained). The clock only moves when events are processed, so after
+    /// this returns [`SimCore::now`] is the time of the last event at or
+    /// before `tick`, not `tick` itself.
+    pub fn run_until(&mut self, tick: Tick) -> StepOutcome {
+        while !self.fates.all_resolved() && self.events.peek_time().is_some_and(|t| t <= tick) {
+            self.step();
+        }
+        if self.fates.all_resolved() {
+            StepOutcome::Drained { now: self.now }
+        } else if self.events.peek_time().is_none() {
+            StepOutcome::Idle { now: self.now }
+        } else {
+            StepOutcome::Advanced { now: self.now }
+        }
+    }
+
+    /// Runs the trial to completion and returns its result — the resumable
+    /// equivalent of the legacy `Simulation::run()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue empties with unresolved tasks, which the
+    /// closed-world invariant makes unreachable for cores built by
+    /// [`SimCore::new`] (every unresolved task always has a pending event).
+    #[must_use]
+    pub fn run_to_completion(&mut self) -> TrialResult {
+        loop {
+            match self.step() {
+                StepOutcome::Advanced { .. } => {}
+                StepOutcome::Drained { .. } => break,
+                StepOutcome::Idle { .. } => {
+                    unreachable!("event queue exhausted with unresolved tasks")
+                }
+            }
+        }
+        debug_assert!(self.batch.is_empty(), "batch tasks leaked past drain");
+        debug_assert!(self.machines.iter().all(|m| m.running.is_none() && m.pending.is_empty()));
+        self.result().expect("drained above")
+    }
+
+    /// The trial's final metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotDrained`] while any admitted task is unresolved.
+    pub fn result(&self) -> Result<TrialResult, SimError> {
+        if !self.fates.all_resolved() {
+            return Err(SimError::NotDrained {
+                resolved: self.fates.resolved,
+                total: self.fates.fates.len(),
+            });
+        }
+        let busy_ticks: Vec<u64> = self.machines.iter().map(|m| m.busy_ticks).collect();
+        let prices: Vec<f64> =
+            self.machines.iter().map(|m| self.scenario.price_per_hour(m.machine.id)).collect();
+        Ok(TrialResult::from_accounting(
+            &self.fates.fates,
+            self.config.exclude_boundary,
+            self.config.approx.map_or(0.0, |a| a.value),
+            busy_ticks,
+            &prices,
+            self.now,
+            self.mapping_events,
+        ))
+    }
+
+    /// Current simulation time (the last processed event timestamp).
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Timestamp of the next scheduled event, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<Tick> {
+        self.events.peek_time()
+    }
+
+    /// Tasks admitted so far (initial workload + injections).
+    #[must_use]
+    pub fn total_tasks(&self) -> usize {
+        self.fates.fates.len()
+    }
+
+    /// Tasks whose fate is already decided.
+    #[must_use]
+    pub fn resolved_tasks(&self) -> usize {
+        self.fates.resolved
+    }
+
+    /// Whether every admitted task has a fate.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.fates.all_resolved()
+    }
+
+    /// The fate of a task, or `None` while it is still in flight (or the id
+    /// is unknown).
+    #[must_use]
+    pub fn fate(&self, task: TaskId) -> Option<TaskFate> {
+        self.fates.fates.get(task.index()).copied().flatten()
+    }
+
+    /// The engine configuration this core runs under.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// A read-only snapshot of the batch queue and every machine queue.
+    /// Running entries omit the engine's realised finish times, so a driver
+    /// cannot leak the truth model into a policy.
+    #[must_use]
+    pub fn state(&self) -> SimState {
+        SimState {
+            now: self.now,
+            total_tasks: self.total_tasks(),
+            resolved_tasks: self.resolved_tasks(),
+            mapping_events: self.mapping_events,
+            batch: self.batch.clone(),
+            machines: self
+                .machines
+                .iter()
+                .map(|m| MachineState {
+                    machine: m.machine,
+                    down: m.down,
+                    busy_ticks: m.busy_ticks,
+                    running: m.running.as_ref().map(|r| RunningState {
+                        task: r.task,
+                        start: r.start,
+                        degraded: r.degraded,
+                    }),
+                    pending: m
+                        .pending
+                        .iter()
+                        .map(|qt| QueuedState { task: qt.task, degraded: qt.degraded })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        let now = self.now;
+        let SimCore { tasks, machines, batch, events, fates, observers, .. } = self;
+        match ev {
+            Event::Arrival(i) => {
+                let task = tasks[i];
+                batch.push(task);
+                emit(observers, SimEvent::Arrived { task });
+            }
+            Event::Completion(mid, epoch) => {
+                let m = &mut machines[mid.index()];
+                if m.epoch != epoch {
+                    return; // stale: that execution was killed earlier
+                }
+                let r = m.running.take().expect("epoch-matched completion");
+                debug_assert_eq!(r.finish, now);
+                m.epoch += 1; // invalidate any outstanding kill event
+                m.busy_ticks += r.finish - r.start;
+                resolve(
+                    fates,
+                    observers,
+                    SimEvent::Completed {
+                        task: r.task.id,
+                        machine: mid,
+                        now,
+                        on_time: r.finish < r.task.deadline,
+                        degraded: r.degraded,
+                    },
+                );
+                start_next(
+                    self.scenario,
+                    self.config,
+                    self.exec_seed,
+                    now,
+                    m,
+                    events,
+                    fates,
+                    observers,
+                );
+            }
+            Event::DeadlineKill(mid, epoch) => {
+                let m = &mut machines[mid.index()];
+                if m.epoch != epoch {
+                    return; // stale: the execution already ended
+                }
+                let r = m.running.take().expect("epoch-matched kill");
+                debug_assert_eq!(r.task.deadline, now);
+                debug_assert!(r.finish >= now, "kill scheduled after completion");
+                m.epoch += 1; // invalidate the outstanding completion event
+                m.busy_ticks += now - r.start;
+                resolve(fates, observers, SimEvent::Killed { task: r.task.id, machine: mid, now });
+                start_next(
+                    self.scenario,
+                    self.config,
+                    self.exec_seed,
+                    now,
+                    m,
+                    events,
+                    fates,
+                    observers,
+                );
+            }
+            Event::MachineFailure(mid) => {
+                let m = &mut machines[mid.index()];
+                m.down = true;
+                let lost = m.running.take().map(|r| {
+                    m.epoch += 1; // invalidate completion/kill events
+                    m.busy_ticks += now - r.start;
+                    r.task.id
+                });
+                let ev = SimEvent::MachineFailed { machine: mid, now, lost };
+                if lost.is_some() {
+                    resolve(fates, observers, ev);
+                } else {
+                    emit(observers, ev);
+                }
+            }
+            Event::MachineRepair(mid) => {
+                let m = &mut machines[mid.index()];
+                m.down = false;
+                emit(observers, SimEvent::MachineRepaired { machine: mid, now });
+                start_next(
+                    self.scenario,
+                    self.config,
+                    self.exec_seed,
+                    now,
+                    m,
+                    events,
+                    fates,
+                    observers,
+                );
+            }
+        }
+    }
+
+    /// One mapping event: reactive drops, the dropping policy, the mapping
+    /// heuristic, then starting idle machines (paper Figure 4 + Mapper).
+    fn mapping_event(&mut self) {
+        let now = self.now;
+        let SimCore {
+            scenario,
+            mapper,
+            dropper,
+            config,
+            exec_seed,
+            approx_pet,
+            machines,
+            batch,
+            events,
+            fates,
+            observers,
+            ..
+        } = self;
+        let config = *config;
+        let exec_seed = *exec_seed;
+        let scenario: &Scenario = scenario;
+        let approx_pet = approx_pet.as_ref();
+        let pet = &scenario.pet;
+
+        // (1) Reactive drops: machine queues and batch queue.
+        for m in machines.iter_mut() {
+            m.pending.retain(|qt| {
+                let keep = !qt.task.expired(now);
+                if !keep {
+                    resolve(
+                        fates,
+                        observers,
+                        SimEvent::Dropped { task: qt.task.id, now, kind: DropKind::Reactive },
+                    );
+                }
+                keep
+            });
+        }
+        batch.retain(|task| {
+            let keep = !task.expired(now);
+            if !keep {
+                resolve(
+                    fates,
+                    observers,
+                    SimEvent::Dropped { task: task.id, now, kind: DropKind::Reactive },
+                );
+            }
+            keep
+        });
+
+        // (2) Proactive dropping policy, queue by queue.
+        let capacity = scenario.capacity(config.queue_size);
+        let ctx = DropContext {
+            compaction: config.compaction,
+            pressure: batch.len() as f64 / capacity as f64,
+            approx: config.approx,
+        };
+        for m in machines.iter_mut() {
+            if m.pending.is_empty() {
+                continue;
+            }
+            let view = QueueView {
+                machine: m.machine.id,
+                machine_type: m.machine.type_id,
+                now,
+                running: running_view(pet, now, m, config),
+                pending: m
+                    .pending
+                    .iter()
+                    .map(|qt| PendingView {
+                        id: qt.task.id,
+                        type_id: qt.task.type_id,
+                        deadline: qt.task.deadline,
+                        degraded: qt.degraded,
+                    })
+                    .collect(),
+                pet,
+                approx_pet,
+            };
+            let decision = dropper.select_drops(&view, &ctx);
+            let mut last: Option<usize> = None;
+            for &idx in &decision.drops {
+                assert!(idx < m.pending.len(), "dropper returned out-of-range index");
+                assert!(last.is_none_or(|p| p < idx), "dropper indices must increase");
+                last = Some(idx);
+            }
+            // Degrades: validated, disjoint from drops, not already degraded.
+            let mut last_deg: Option<usize> = None;
+            for &idx in &decision.degrades {
+                assert!(idx < m.pending.len(), "degrade index out of range");
+                assert!(last_deg.is_none_or(|p| p < idx), "degrade indices must increase");
+                assert!(!decision.drops.contains(&idx), "cannot drop and degrade one task");
+                assert!(
+                    config.approx.is_some(),
+                    "policy degraded a task but approximate computing is disabled"
+                );
+                assert!(!m.pending[idx].degraded, "task degraded twice");
+                m.pending[idx].degraded = true;
+                emit(
+                    observers,
+                    SimEvent::Degraded { task: m.pending[idx].task.id, machine: m.machine.id, now },
+                );
+                last_deg = Some(idx);
+            }
+            for &idx in decision.drops.iter().rev() {
+                let qt = m.pending.remove(idx).expect("validated index");
+                resolve(
+                    fates,
+                    observers,
+                    SimEvent::Dropped { task: qt.task.id, now, kind: DropKind::Proactive },
+                );
+            }
+        }
+
+        // (3) Mapping heuristic fills free slots from the batch queue.
+        if !batch.is_empty() {
+            let machine_views: Vec<MachineView> = machines
+                .iter()
+                .map(|m| {
+                    // A down machine exposes no free slots: the mapper must
+                    // not feed a queue that cannot drain.
+                    let free_slots = if m.down {
+                        0
+                    } else {
+                        config.queue_size - m.occupancy().min(config.queue_size)
+                    };
+                    // Tails are only consulted for machines the mapper can
+                    // fill; skipping full queues avoids most of the chain
+                    // work in heavy oversubscription.
+                    let tail = if free_slots == 0 {
+                        Pmf::point(now)
+                    } else {
+                        queue_tail(pet, approx_pet, now, m, config)
+                    };
+                    MachineView {
+                        machine: m.machine.id,
+                        machine_type: m.machine.type_id,
+                        free_slots,
+                        tail,
+                    }
+                })
+                .collect();
+            let unmapped: Vec<UnmappedView> = batch
+                .iter()
+                .map(|t| UnmappedView {
+                    id: t.id,
+                    type_id: t.type_id,
+                    arrival: t.arrival,
+                    deadline: t.deadline,
+                })
+                .collect();
+            let input = MappingInput {
+                now,
+                pet,
+                machines: machine_views,
+                unmapped: &unmapped,
+                compaction: config.compaction,
+            };
+            let assignments = mapper.map(input);
+
+            let mut taken = vec![false; batch.len()];
+            for a in &assignments {
+                assert!(a.task_idx < batch.len(), "mapper returned out-of-range task index");
+                assert!(!taken[a.task_idx], "mapper assigned a task twice");
+                taken[a.task_idx] = true;
+                let m = &mut machines[a.machine.index()];
+                assert!(
+                    m.occupancy() < config.queue_size,
+                    "mapper overfilled queue of {}",
+                    a.machine
+                );
+                m.pending.push_back(QueuedTask { task: batch[a.task_idx], degraded: false });
+                emit(
+                    observers,
+                    SimEvent::Mapped { task: batch[a.task_idx].id, machine: a.machine, now },
+                );
+            }
+            let mut keep_iter = taken.iter();
+            batch.retain(|_| !keep_iter.next().expect("mask sized to batch"));
+        }
+
+        // (4) Idle machines start their newly queued work immediately.
+        for m in machines.iter_mut() {
+            if m.running.is_none() && !m.pending.is_empty() {
+                start_next(scenario, config, exec_seed, now, m, events, fates, observers);
+            }
+        }
+    }
+}
+
+/// Notifies every observer of one event.
+fn emit(observers: &mut [Box<dyn SimObserver + '_>], ev: SimEvent) {
+    for obs in observers.iter_mut() {
+        obs.on_event(&ev);
+    }
+}
+
+/// Records the fate a terminal event implies and notifies observers. The
+/// event→fate mapping lives in one place — [`SimEvent::resolved`] — so the
+/// engine's accounting and the observer stream cannot drift apart.
+fn resolve(fates: &mut FateBook, observers: &mut [Box<dyn SimObserver + '_>], ev: SimEvent) {
+    let (task, fate) = ev.resolved().expect("resolve() called with a non-terminal event");
+    fates.set(task, fate);
+    emit(observers, ev);
+}
+
+/// Actual execution time of `task` on `machine`, drawn from the truth
+/// model. Deterministic per (exec_seed, task, machine) regardless of
+/// event order or policy, so policy comparisons share the same luck.
+fn actual_exec(scenario: &Scenario, exec_seed: u64, task: &Task, machine: Machine) -> Tick {
+    let stream = task.id.0 * scenario.machine_count() as u64 + machine.id.0 as u64;
+    let mut rng = new_rng(derive_seed(exec_seed, stream));
+    scenario.truth.sample(task.type_id, machine.type_id, &mut rng)
+}
+
+/// Starts the next runnable pending task on an idle machine, reactively
+/// dropping heads that can no longer begin before their deadlines.
+#[allow(clippy::too_many_arguments)] // split borrows of one SimCore
+fn start_next(
+    scenario: &Scenario,
+    config: SimConfig,
+    exec_seed: u64,
+    now: Tick,
+    m: &mut MachineSt,
+    events: &mut EventQueue,
+    fates: &mut FateBook,
+    observers: &mut [Box<dyn SimObserver + '_>],
+) {
+    debug_assert!(m.running.is_none());
+    if m.down {
+        return; // queue frozen until repair
+    }
+    while let Some(QueuedTask { task, degraded }) = m.pending.pop_front() {
+        if task.expired(now) {
+            resolve(
+                fates,
+                observers,
+                SimEvent::Dropped { task: task.id, now, kind: DropKind::Reactive },
+            );
+            continue;
+        }
+        let full_exec = actual_exec(scenario, exec_seed, &task, m.machine);
+        let exec = if degraded {
+            let factor = config.approx.map_or(1.0, |a| a.time_factor);
+            ((full_exec as f64 * factor).round() as Tick).max(1)
+        } else {
+            full_exec
+        };
+        let finish = now + exec;
+        m.epoch += 1;
+        if config.kill_running_at_deadline && finish >= task.deadline {
+            // The execution will overshoot (or exactly meet) the
+            // deadline; the engine kills it right at the deadline
+            // (live-video semantics). Pushed *before* the completion so
+            // that on a `finish == deadline` tie the kill wins and the
+            // completion goes stale. Scheduling the kill only when it
+            // will fire keeps the heap small; the engine's foreknowledge
+            // of `finish` is not leaked to any policy.
+            events.push(task.deadline, Event::DeadlineKill(m.machine.id, m.epoch));
+        }
+        events.push(finish, Event::Completion(m.machine.id, m.epoch));
+        emit(observers, SimEvent::Started { task: task.id, machine: m.machine.id, now, degraded });
+        m.running = Some(RunningTask { task, start: now, finish, degraded });
+        return;
+    }
+}
+
+/// Completion-time view of the running task: the learned execution PMF
+/// shifted to its start tick and conditioned on "not finished by now"; falls
+/// back to a point mass one tick ahead when the learned support is already
+/// exhausted (the actual draw exceeded everything the PET saw). Under
+/// kill-at-deadline semantics the machine frees no later than the running
+/// task's deadline, so the estimate is clamped there.
+fn running_view(
+    pet: &PetMatrix,
+    now: Tick,
+    m: &MachineSt,
+    config: SimConfig,
+) -> Option<RunningView> {
+    let r = m.running.as_ref()?;
+    // A degraded runner's estimate scales its learned PMF the same way the
+    // engine scales its actual draw.
+    let exec_estimate = if r.degraded {
+        let factor = config.approx.map_or(1.0, |a| a.time_factor);
+        pet.pmf(r.task.type_id, m.machine.type_id).time_scale(factor)
+    } else {
+        pet.pmf(r.task.type_id, m.machine.type_id).clone()
+    };
+    let shifted = exec_estimate.shift(r.start);
+    let mut completion = shifted.condition_at_least(now + 1).unwrap_or_else(|| Pmf::point(now + 1));
+    if self_kill_applies(config, r, now) {
+        completion = completion.clamp_max(r.task.deadline.max(now + 1));
+    }
+    Some(RunningView {
+        id: r.task.id,
+        type_id: r.task.type_id,
+        deadline: r.task.deadline,
+        completion,
+    })
+}
+
+/// The clamp only applies while the kill can still fire (deadline ahead).
+fn self_kill_applies(config: SimConfig, r: &RunningTask, now: Tick) -> bool {
+    config.kill_running_at_deadline && r.task.deadline > now
+}
+
+/// Completion PMF of the queue tail: where a newly appended task would wait.
+/// Degraded entries chain with the degraded PET.
+fn queue_tail(
+    pet: &PetMatrix,
+    approx_pet: Option<&PetMatrix>,
+    now: Tick,
+    m: &MachineSt,
+    config: SimConfig,
+) -> Pmf {
+    let base = match running_view(pet, now, m, config) {
+        Some(r) => r.completion,
+        None => Pmf::point(now),
+    };
+    if m.pending.is_empty() {
+        return base;
+    }
+    let tasks: Vec<qchain::ChainTask<'_>> = m
+        .pending
+        .iter()
+        .map(|qt| {
+            let source = if qt.degraded { approx_pet.unwrap_or(pet) } else { pet };
+            qchain::ChainTask {
+                deadline: qt.task.deadline,
+                exec: source.pmf(qt.task.type_id, m.machine.type_id),
+            }
+        })
+        .collect();
+    let links = qchain::chain(&base, &tasks, config.compaction);
+    links.last().expect("non-empty pending").completion.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskdrop_core::{ProactiveDropper, ReactiveOnly};
+    use taskdrop_sched::Pam;
+    use taskdrop_workload::OversubscriptionLevel;
+
+    fn scenario() -> Scenario {
+        Scenario::specint(7)
+    }
+
+    fn workload(scenario: &Scenario, tasks: usize, window: Tick) -> Workload {
+        let level = OversubscriptionLevel::new("core", tasks, window);
+        Workload::generate(scenario, &level, 3.0, 42)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { exclude_boundary: 0, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let s = scenario();
+        let w = workload(&s, 10, 1_000);
+        let bad = SimConfig { queue_size: 0, ..cfg() };
+        let err = SimCore::new(&s, &w, &Pam, &ReactiveOnly, bad, 1).err();
+        assert_eq!(err, Some(SimError::ZeroQueueSize));
+    }
+
+    #[test]
+    fn misnumbered_workload_rejected() {
+        let s = scenario();
+        let mut w = workload(&s, 5, 1_000);
+        w.tasks[3].id = TaskId(77);
+        let err = SimCore::new(&s, &w, &Pam, &ReactiveOnly, cfg(), 1).err();
+        assert_eq!(err, Some(SimError::MisnumberedWorkload { index: 3, id: 77 }));
+    }
+
+    #[test]
+    fn stepping_reaches_drain_and_result() {
+        let s = scenario();
+        let w = workload(&s, 120, 2_000);
+        let dropper = ProactiveDropper::paper_default();
+        let mut core = SimCore::new(&s, &w, &Pam, &dropper, cfg(), 1).unwrap();
+        assert_eq!(core.result(), Err(SimError::NotDrained { resolved: 0, total: 120 }));
+        let mut steps = 0u64;
+        while let StepOutcome::Advanced { .. } = core.step() {
+            steps += 1;
+        }
+        let r = core.result().unwrap();
+        assert!(r.is_conserved());
+        // One mapping event per step (the final step drains).
+        assert_eq!(r.mapping_events, steps + 1);
+        // Drained cores stay drained.
+        assert!(core.step().is_drained());
+    }
+
+    #[test]
+    fn run_until_respects_the_clock() {
+        let s = scenario();
+        let w = workload(&s, 200, 4_000);
+        let mut core = SimCore::new(&s, &w, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        let outcome = core.run_until(1_000);
+        assert!(!outcome.is_drained());
+        assert!(core.now() <= 1_000);
+        assert!(core.next_event_time().is_some_and(|t| t > 1_000));
+        let mid = core.state();
+        assert!(mid.resolved_tasks < mid.total_tasks);
+        let r = core.run_to_completion();
+        assert!(r.is_conserved());
+    }
+
+    #[test]
+    fn state_snapshot_is_consistent_mid_trial() {
+        let s = scenario();
+        let w = workload(&s, 300, 2_000);
+        let mut core = SimCore::new(&s, &w, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        core.run_until(800);
+        let st = core.state();
+        assert_eq!(st.machines.len(), s.machine_count());
+        assert_eq!(st.now, core.now());
+        let queued: usize = st.machines.iter().map(|m| m.pending.len()).sum();
+        let running: usize = st.machines.iter().filter(|m| m.running.is_some()).count();
+        // Everything is somewhere: resolved, queued, running, batched, or
+        // still in the future.
+        assert!(st.resolved_tasks + queued + running + st.batch.len() <= st.total_tasks);
+        for m in &st.machines {
+            assert!(m.pending.len() < core.config().queue_size);
+        }
+    }
+
+    #[test]
+    fn open_core_accepts_injections_and_drains() {
+        let s = scenario();
+        let mut core = SimCore::open(&s, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        assert!(core.step().is_drained(), "no work yet");
+        let mut ids = Vec::new();
+        for k in 0..40u64 {
+            let id = core.inject(TaskTypeId((k % 12) as u16), 10 * k, 10 * k + 600).unwrap();
+            ids.push(id);
+        }
+        assert_eq!(core.total_tasks(), 40);
+        let r = core.run_to_completion();
+        assert!(r.is_conserved());
+        assert_eq!(r.total_tasks, 40);
+        for id in ids {
+            assert!(core.fate(id).is_some());
+        }
+    }
+
+    #[test]
+    fn inject_validates_its_arguments() {
+        let s = scenario();
+        let mut core = SimCore::open(&s, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        assert_eq!(
+            core.inject(TaskTypeId(99), 0, 10).err(),
+            Some(SimError::UnknownTaskType { type_id: 99, task_types: 12 })
+        );
+        assert_eq!(
+            core.inject(TaskTypeId(0), 5, 5).err(),
+            Some(SimError::InvalidDeadline { arrival: 5, deadline: 5 })
+        );
+        core.inject(TaskTypeId(0), 100, 700).unwrap();
+        core.run_until(100);
+        let now = core.now();
+        assert!(now >= 100);
+        assert_eq!(
+            core.inject(TaskTypeId(0), now.saturating_sub(1), now + 500).err(),
+            Some(SimError::InjectedInPast { now, arrival: now - 1 })
+        );
+    }
+
+    #[test]
+    fn injection_after_drain_revives_the_core() {
+        let s = scenario();
+        let mut core = SimCore::open(&s, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        core.inject(TaskTypeId(0), 0, 500).unwrap();
+        let _ = core.run_to_completion();
+        assert!(core.is_drained());
+        let now = core.now();
+        core.inject(TaskTypeId(1), now + 50, now + 900).unwrap();
+        assert!(!core.is_drained());
+        let r = core.run_to_completion();
+        assert_eq!(r.total_tasks, 2);
+        assert!(r.is_conserved());
+    }
+}

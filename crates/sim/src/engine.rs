@@ -1,80 +1,19 @@
-//! The discrete-event simulation engine.
+//! The legacy batch entry point, now a thin wrapper over [`SimCore`].
+//!
+//! [`Simulation`] assembles one trial and runs it to completion in a single
+//! call — the original closed-world API. All simulation logic lives in
+//! [`crate::core`]; `tests/core_equivalence.rs` pins the wrapper's results
+//! byte-identical to a manually stepped [`SimCore`]. (Degenerate exception,
+//! unreachable through `Workload::generate`: a zero-task workload with
+//! failure injection now reports `makespan: 0` instead of processing the
+//! first failure event — see the note in [`crate::core`].)
 
 use crate::config::SimConfig;
-use crate::event::{Event, EventQueue};
-use crate::metrics::{TaskFate, TrialResult};
-use std::collections::VecDeque;
+use crate::core::SimCore;
+use crate::metrics::TrialResult;
 use taskdrop_core::DropPolicy;
-use taskdrop_model::queue as qchain;
-use taskdrop_model::view::{
-    DropContext, MachineView, MappingInput, PendingView, QueueView, RunningView, UnmappedView,
-};
-use taskdrop_model::{Machine, Task};
-use taskdrop_pmf::{Pmf, Tick};
 use taskdrop_sched::MappingHeuristic;
-use taskdrop_stats::{derive_seed, new_rng};
 use taskdrop_workload::{Scenario, Workload};
-
-/// A task currently executing on a machine.
-struct RunningTask {
-    task: Task,
-    start: Tick,
-    finish: Tick,
-    /// Running the approximate (degraded) variant.
-    degraded: bool,
-}
-
-/// A task waiting in a machine queue, possibly degraded to its approximate
-/// variant by the dropping policy.
-#[derive(Debug, Clone, Copy)]
-struct QueuedTask {
-    task: Task,
-    degraded: bool,
-}
-
-/// Mutable per-machine state.
-struct MachineSt {
-    machine: Machine,
-    running: Option<RunningTask>,
-    pending: VecDeque<QueuedTask>,
-    busy_ticks: u64,
-    /// Incremented each time a task starts; stamps Completion/DeadlineKill
-    /// events so stale ones (for an already-ended execution) are ignored.
-    epoch: u64,
-    /// Failure injection: the machine is down (cannot start tasks).
-    down: bool,
-}
-
-impl MachineSt {
-    fn occupancy(&self) -> usize {
-        usize::from(self.running.is_some()) + self.pending.len()
-    }
-}
-
-/// Records the single fate of every workload task and how many are resolved,
-/// letting the run loop stop as soon as all work is accounted for (important
-/// under failure injection, whose repair events extend past the drain).
-struct FateBook {
-    fates: Vec<Option<TaskFate>>,
-    resolved: usize,
-}
-
-impl FateBook {
-    fn new(n: usize) -> Self {
-        FateBook { fates: vec![None; n], resolved: 0 }
-    }
-
-    fn set(&mut self, task: &Task, fate: TaskFate) {
-        let slot = &mut self.fates[task.id.index()];
-        debug_assert!(slot.is_none(), "task {} assigned two fates", task.id);
-        *slot = Some(fate);
-        self.resolved += 1;
-    }
-
-    fn all_resolved(&self) -> bool {
-        self.resolved == self.fates.len()
-    }
-}
 
 /// One simulation trial: a scenario + workload + mapper + dropper.
 ///
@@ -94,12 +33,7 @@ impl FateBook {
 /// assert!(result.is_conserved());
 /// ```
 pub struct Simulation<'a> {
-    scenario: &'a Scenario,
-    workload: &'a Workload,
-    mapper: &'a dyn MappingHeuristic,
-    dropper: &'a dyn DropPolicy,
-    config: SimConfig,
-    exec_seed: u64,
+    core: SimCore<'a>,
 }
 
 impl<'a> Simulation<'a> {
@@ -107,501 +41,38 @@ impl<'a> Simulation<'a> {
     /// draws; each (task, machine) pair gets an independent deterministic
     /// stream, so different policies facing the same workload see the same
     /// realised execution times.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config` or a misnumbered workload. Use
+    /// [`SimCore::new`] for the `Result`-returning equivalent (plus
+    /// stepping, injection and observers).
     #[must_use]
     pub fn new(
         scenario: &'a Scenario,
-        workload: &'a Workload,
+        workload: &Workload,
         mapper: &'a dyn MappingHeuristic,
         dropper: &'a dyn DropPolicy,
         config: SimConfig,
         exec_seed: u64,
     ) -> Self {
-        config.validate();
-        Simulation { scenario, workload, mapper, dropper, config, exec_seed }
-    }
-
-    /// Pre-generates each machine's failure/repair timeline (exponential
-    /// up/down durations) out to a horizon comfortably past the last arrival
-    /// — deadlines are short relative to the window, so the system drains
-    /// long before the horizon. Timelines derive from the exec seed, so a
-    /// given trial sees the same outages under every policy.
-    fn schedule_failures(&self, events: &mut EventQueue) {
-        let Some(spec) = self.config.failures else { return };
-        let horizon = self.workload.horizon().saturating_mul(2) + 120_000;
-        let up = taskdrop_stats::ExponentialSampler::new(1.0 / spec.mtbf as f64);
-        let repair = taskdrop_stats::ExponentialSampler::new(1.0 / spec.mttr as f64);
-        for machine in &self.scenario.machines {
-            let mut rng = new_rng(derive_seed(self.exec_seed, 0xFA11_0000 + machine.id.0 as u64));
-            let mut t = 0.0f64;
-            loop {
-                let fail_at = t + up.sample(&mut rng).max(1.0);
-                if fail_at >= horizon as f64 {
-                    break;
-                }
-                let up_at = fail_at + repair.sample(&mut rng).max(1.0);
-                events.push(fail_at.round() as Tick, Event::MachineFailure(machine.id));
-                events.push(up_at.round() as Tick, Event::MachineRepair(machine.id));
-                t = up_at;
-            }
-        }
-    }
-
-    /// Actual execution time of `task` on `machine`, drawn from the truth
-    /// model. Deterministic per (exec_seed, task, machine) regardless of
-    /// event order or policy, so policy comparisons share the same luck.
-    fn actual_exec(&self, task: &Task, machine: Machine) -> Tick {
-        let stream = task.id.0 * self.scenario.machine_count() as u64 + machine.id.0 as u64;
-        let mut rng = new_rng(derive_seed(self.exec_seed, stream));
-        self.scenario.truth.sample(task.type_id, machine.type_id, &mut rng)
+        let core = SimCore::new(scenario, workload, mapper, dropper, config, exec_seed)
+            .unwrap_or_else(|e| panic!("invalid simulation: {e}"));
+        Simulation { core }
     }
 
     /// Runs the trial to completion (system drained back to idle).
     #[must_use]
-    pub fn run(self) -> TrialResult {
-        let n = self.workload.len();
-        let mut fates = FateBook::new(n);
-        let mut machines: Vec<MachineSt> = self
-            .scenario
-            .machines
-            .iter()
-            .map(|&machine| MachineSt {
-                machine,
-                running: None,
-                pending: VecDeque::with_capacity(self.config.queue_size),
-                busy_ticks: 0,
-                epoch: 0,
-                down: false,
-            })
-            .collect();
-        let mut batch: Vec<Task> = Vec::new();
-        let mut events = EventQueue::new();
-        for (i, t) in self.workload.tasks.iter().enumerate() {
-            events.push(t.arrival, Event::Arrival(i));
-        }
-        self.schedule_failures(&mut events);
-        // Degraded-variant PET, shared by the policy views and the chain
-        // computations (built once; cells are time-scaled copies).
-        let approx_pet = self
-            .config
-            .approx
-            .map(|spec| taskdrop_model::approx::degraded_pet(&self.scenario.pet, spec));
-
-        let mut now: Tick = 0;
-        let mut mapping_events: u64 = 0;
-        while let Some((t, ev)) = events.pop() {
-            now = t;
-            self.handle(ev, now, &mut machines, &mut batch, &mut events, &mut fates);
-            // Drain every event sharing this timestamp, then run one
-            // mapping event for the batch (a mapping event is "triggered by
-            // completing or arrival of a task").
-            while events.peek_time() == Some(now) {
-                let (_, ev) = events.pop().expect("peeked");
-                self.handle(ev, now, &mut machines, &mut batch, &mut events, &mut fates);
-            }
-            self.mapping_event(
-                now,
-                &mut machines,
-                &mut batch,
-                &mut events,
-                &mut fates,
-                approx_pet.as_ref(),
-            );
-            mapping_events += 1;
-            if fates.all_resolved() {
-                // All tasks accounted for; any remaining events are failure
-                // timeline entries with nothing left to disturb.
-                break;
-            }
-        }
-
-        debug_assert!(batch.is_empty(), "batch tasks leaked past drain");
-        debug_assert!(machines.iter().all(|m| m.running.is_none() && m.pending.is_empty()));
-
-        self.finalize(now, mapping_events, &machines, &fates)
+    pub fn run(mut self) -> TrialResult {
+        self.core.run_to_completion()
     }
-
-    fn handle(
-        &self,
-        ev: Event,
-        now: Tick,
-        machines: &mut [MachineSt],
-        batch: &mut Vec<Task>,
-        events: &mut EventQueue,
-        fates: &mut FateBook,
-    ) {
-        match ev {
-            Event::Arrival(i) => batch.push(self.workload.tasks[i]),
-            Event::Completion(mid, epoch) => {
-                let m = &mut machines[mid.index()];
-                if m.epoch != epoch {
-                    return; // stale: that execution was killed earlier
-                }
-                let r = m.running.take().expect("epoch-matched completion");
-                debug_assert_eq!(r.finish, now);
-                m.epoch += 1; // invalidate any outstanding kill event
-                m.busy_ticks += r.finish - r.start;
-                let fate = match (r.finish < r.task.deadline, r.degraded) {
-                    (true, false) => TaskFate::OnTime,
-                    (true, true) => TaskFate::OnTimeApprox,
-                    (false, _) => TaskFate::Late,
-                };
-                fates.set(&r.task, fate);
-                self.start_next(now, m, events, fates);
-            }
-            Event::DeadlineKill(mid, epoch) => {
-                let m = &mut machines[mid.index()];
-                if m.epoch != epoch {
-                    return; // stale: the execution already ended
-                }
-                let r = m.running.take().expect("epoch-matched kill");
-                debug_assert_eq!(r.task.deadline, now);
-                debug_assert!(r.finish >= now, "kill scheduled after completion");
-                m.epoch += 1; // invalidate the outstanding completion event
-                m.busy_ticks += now - r.start;
-                fates.set(&r.task, TaskFate::DroppedReactive);
-                self.start_next(now, m, events, fates);
-            }
-            Event::MachineFailure(mid) => {
-                let m = &mut machines[mid.index()];
-                m.down = true;
-                if let Some(r) = m.running.take() {
-                    m.epoch += 1; // invalidate completion/kill events
-                    m.busy_ticks += now - r.start;
-                    fates.set(&r.task, TaskFate::LostToFailure);
-                }
-            }
-            Event::MachineRepair(mid) => {
-                let m = &mut machines[mid.index()];
-                m.down = false;
-                self.start_next(now, m, events, fates);
-            }
-        }
-    }
-
-    /// Starts the next runnable pending task on an idle machine, reactively
-    /// dropping heads that can no longer begin before their deadlines.
-    fn start_next(
-        &self,
-        now: Tick,
-        m: &mut MachineSt,
-        events: &mut EventQueue,
-        fates: &mut FateBook,
-    ) {
-        debug_assert!(m.running.is_none());
-        if m.down {
-            return; // queue frozen until repair
-        }
-        while let Some(QueuedTask { task, degraded }) = m.pending.pop_front() {
-            if task.expired(now) {
-                fates.set(&task, TaskFate::DroppedReactive);
-                continue;
-            }
-            let full_exec = self.actual_exec(&task, m.machine);
-            let exec = if degraded {
-                let factor = self.config.approx.map_or(1.0, |a| a.time_factor);
-                ((full_exec as f64 * factor).round() as Tick).max(1)
-            } else {
-                full_exec
-            };
-            let finish = now + exec;
-            m.epoch += 1;
-            if self.config.kill_running_at_deadline && finish >= task.deadline {
-                // The execution will overshoot (or exactly meet) the
-                // deadline; the engine kills it right at the deadline
-                // (live-video semantics). Pushed *before* the completion so
-                // that on a `finish == deadline` tie the kill wins and the
-                // completion goes stale. Scheduling the kill only when it
-                // will fire keeps the heap small; the engine's foreknowledge
-                // of `finish` is not leaked to any policy.
-                events.push(task.deadline, Event::DeadlineKill(m.machine.id, m.epoch));
-            }
-            events.push(finish, Event::Completion(m.machine.id, m.epoch));
-            m.running = Some(RunningTask { task, start: now, finish, degraded });
-            return;
-        }
-    }
-
-    /// One mapping event: reactive drops, the dropping policy, the mapping
-    /// heuristic, then starting idle machines (paper Figure 4 + Mapper).
-    fn mapping_event(
-        &self,
-        now: Tick,
-        machines: &mut [MachineSt],
-        batch: &mut Vec<Task>,
-        events: &mut EventQueue,
-        fates: &mut FateBook,
-        approx_pet: Option<&taskdrop_model::PetMatrix>,
-    ) {
-        let pet = &self.scenario.pet;
-
-        // (1) Reactive drops: machine queues and batch queue.
-        for m in machines.iter_mut() {
-            m.pending.retain(|qt| {
-                let keep = !qt.task.expired(now);
-                if !keep {
-                    fates.set(&qt.task, TaskFate::DroppedReactive);
-                }
-                keep
-            });
-        }
-        batch.retain(|task| {
-            let keep = !task.expired(now);
-            if !keep {
-                fates.set(task, TaskFate::DroppedReactive);
-            }
-            keep
-        });
-
-        // (2) Proactive dropping policy, queue by queue.
-        let capacity = self.scenario.capacity(self.config.queue_size);
-        let ctx = DropContext {
-            compaction: self.config.compaction,
-            pressure: batch.len() as f64 / capacity as f64,
-            approx: self.config.approx,
-        };
-        for m in machines.iter_mut() {
-            if m.pending.is_empty() {
-                continue;
-            }
-            let view = QueueView {
-                machine: m.machine.id,
-                machine_type: m.machine.type_id,
-                now,
-                running: running_view(pet, now, m, self.config),
-                pending: m
-                    .pending
-                    .iter()
-                    .map(|qt| PendingView {
-                        id: qt.task.id,
-                        type_id: qt.task.type_id,
-                        deadline: qt.task.deadline,
-                        degraded: qt.degraded,
-                    })
-                    .collect(),
-                pet,
-                approx_pet,
-            };
-            let decision = self.dropper.select_drops(&view, &ctx);
-            let mut last: Option<usize> = None;
-            for &idx in &decision.drops {
-                assert!(idx < m.pending.len(), "dropper returned out-of-range index");
-                assert!(last.is_none_or(|p| p < idx), "dropper indices must increase");
-                last = Some(idx);
-            }
-            // Degrades: validated, disjoint from drops, not already degraded.
-            let mut last_deg: Option<usize> = None;
-            for &idx in &decision.degrades {
-                assert!(idx < m.pending.len(), "degrade index out of range");
-                assert!(last_deg.is_none_or(|p| p < idx), "degrade indices must increase");
-                assert!(!decision.drops.contains(&idx), "cannot drop and degrade one task");
-                assert!(
-                    self.config.approx.is_some(),
-                    "policy degraded a task but approximate computing is disabled"
-                );
-                assert!(!m.pending[idx].degraded, "task degraded twice");
-                m.pending[idx].degraded = true;
-                last_deg = Some(idx);
-            }
-            for &idx in decision.drops.iter().rev() {
-                let qt = m.pending.remove(idx).expect("validated index");
-                fates.set(&qt.task, TaskFate::DroppedProactive);
-            }
-        }
-
-        // (3) Mapping heuristic fills free slots from the batch queue.
-        if !batch.is_empty() {
-            let machine_views: Vec<MachineView> = machines
-                .iter()
-                .map(|m| {
-                    // A down machine exposes no free slots: the mapper must
-                    // not feed a queue that cannot drain.
-                    let free_slots = if m.down {
-                        0
-                    } else {
-                        self.config.queue_size - m.occupancy().min(self.config.queue_size)
-                    };
-                    // Tails are only consulted for machines the mapper can
-                    // fill; skipping full queues avoids most of the chain
-                    // work in heavy oversubscription.
-                    let tail = if free_slots == 0 {
-                        Pmf::point(now)
-                    } else {
-                        queue_tail(pet, approx_pet, now, m, self.config)
-                    };
-                    MachineView {
-                        machine: m.machine.id,
-                        machine_type: m.machine.type_id,
-                        free_slots,
-                        tail,
-                    }
-                })
-                .collect();
-            let unmapped: Vec<UnmappedView> = batch
-                .iter()
-                .map(|t| UnmappedView {
-                    id: t.id,
-                    type_id: t.type_id,
-                    arrival: t.arrival,
-                    deadline: t.deadline,
-                })
-                .collect();
-            let input = MappingInput {
-                now,
-                pet,
-                machines: machine_views,
-                unmapped: &unmapped,
-                compaction: self.config.compaction,
-            };
-            let assignments = self.mapper.map(input);
-
-            let mut taken = vec![false; batch.len()];
-            for a in &assignments {
-                assert!(a.task_idx < batch.len(), "mapper returned out-of-range task index");
-                assert!(!taken[a.task_idx], "mapper assigned a task twice");
-                taken[a.task_idx] = true;
-                let m = &mut machines[a.machine.index()];
-                assert!(
-                    m.occupancy() < self.config.queue_size,
-                    "mapper overfilled queue of {}",
-                    a.machine
-                );
-                m.pending.push_back(QueuedTask { task: batch[a.task_idx], degraded: false });
-            }
-            let mut keep_iter = taken.iter();
-            batch.retain(|_| !keep_iter.next().expect("mask sized to batch"));
-        }
-
-        // (4) Idle machines start their newly queued work immediately.
-        for m in machines.iter_mut() {
-            if m.running.is_none() && !m.pending.is_empty() {
-                self.start_next(now, m, events, fates);
-            }
-        }
-    }
-
-    fn finalize(
-        &self,
-        makespan: Tick,
-        mapping_events: u64,
-        machines: &[MachineSt],
-        fates: &FateBook,
-    ) -> TrialResult {
-        let n = fates.fates.len();
-        let lo = self.config.exclude_boundary.min(n);
-        let hi = n.saturating_sub(self.config.exclude_boundary).max(lo);
-        let mut on_time = 0;
-        let mut on_time_approx = 0;
-        let mut late = 0;
-        let mut reactive = 0;
-        let mut proactive = 0;
-        let mut lost = 0;
-        for fate in &fates.fates[lo..hi] {
-            match fate.expect("every task must have a fate after drain") {
-                TaskFate::OnTime => on_time += 1,
-                TaskFate::OnTimeApprox => on_time_approx += 1,
-                TaskFate::Late => late += 1,
-                TaskFate::DroppedReactive => reactive += 1,
-                TaskFate::DroppedProactive => proactive += 1,
-                TaskFate::LostToFailure => lost += 1,
-            }
-        }
-        let busy_ticks: Vec<u64> = machines.iter().map(|m| m.busy_ticks).collect();
-        let cost_dollars: f64 = machines
-            .iter()
-            .map(|m| m.busy_ticks as f64 / 3_600_000.0 * self.scenario.price_per_hour(m.machine.id))
-            .sum();
-        TrialResult {
-            total_tasks: n,
-            counted_tasks: hi - lo,
-            on_time,
-            on_time_approx,
-            approx_value: self.config.approx.map_or(0.0, |a| a.value),
-            late,
-            dropped_reactive: reactive,
-            dropped_proactive: proactive,
-            lost_to_failure: lost,
-            busy_ticks,
-            cost_dollars,
-            makespan,
-            mapping_events,
-        }
-    }
-}
-
-/// Completion-time view of the running task: the learned execution PMF
-/// shifted to its start tick and conditioned on "not finished by now"; falls
-/// back to a point mass one tick ahead when the learned support is already
-/// exhausted (the actual draw exceeded everything the PET saw). Under
-/// kill-at-deadline semantics the machine frees no later than the running
-/// task's deadline, so the estimate is clamped there.
-fn running_view(
-    pet: &taskdrop_model::PetMatrix,
-    now: Tick,
-    m: &MachineSt,
-    config: SimConfig,
-) -> Option<RunningView> {
-    let r = m.running.as_ref()?;
-    // A degraded runner's estimate scales its learned PMF the same way the
-    // engine scales its actual draw.
-    let exec_estimate = if r.degraded {
-        let factor = config.approx.map_or(1.0, |a| a.time_factor);
-        pet.pmf(r.task.type_id, m.machine.type_id).time_scale(factor)
-    } else {
-        pet.pmf(r.task.type_id, m.machine.type_id).clone()
-    };
-    let shifted = exec_estimate.shift(r.start);
-    let mut completion = shifted.condition_at_least(now + 1).unwrap_or_else(|| Pmf::point(now + 1));
-    if self_kill_applies(config, r, now) {
-        completion = completion.clamp_max(r.task.deadline.max(now + 1));
-    }
-    Some(RunningView {
-        id: r.task.id,
-        type_id: r.task.type_id,
-        deadline: r.task.deadline,
-        completion,
-    })
-}
-
-/// The clamp only applies while the kill can still fire (deadline ahead).
-fn self_kill_applies(config: SimConfig, r: &RunningTask, now: Tick) -> bool {
-    config.kill_running_at_deadline && r.task.deadline > now
-}
-
-/// Completion PMF of the queue tail: where a newly appended task would wait.
-/// Degraded entries chain with the degraded PET.
-fn queue_tail(
-    pet: &taskdrop_model::PetMatrix,
-    approx_pet: Option<&taskdrop_model::PetMatrix>,
-    now: Tick,
-    m: &MachineSt,
-    config: SimConfig,
-) -> Pmf {
-    let base = match running_view(pet, now, m, config) {
-        Some(r) => r.completion,
-        None => Pmf::point(now),
-    };
-    if m.pending.is_empty() {
-        return base;
-    }
-    let tasks: Vec<qchain::ChainTask<'_>> = m
-        .pending
-        .iter()
-        .map(|qt| {
-            let source = if qt.degraded { approx_pet.unwrap_or(pet) } else { pet };
-            qchain::ChainTask {
-                deadline: qt.task.deadline,
-                exec: source.pmf(qt.task.type_id, m.machine.type_id),
-            }
-        })
-        .collect();
-    let links = qchain::chain(&base, &tasks, config.compaction);
-    links.last().expect("non-empty pending").completion.clone()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use taskdrop_core::{ProactiveDropper, ReactiveOnly};
+    use taskdrop_pmf::Tick;
     use taskdrop_sched::{Fcfs, MinMin, Pam};
     use taskdrop_workload::OversubscriptionLevel;
 

@@ -22,22 +22,44 @@
 //! strictly before their deadlines; the cost model accrues busy-time dollars
 //! per machine (Figure 9).
 //!
-//! [`TrialRunner`] repeats trials with independent workload seeds in
-//! parallel (crossbeam scoped threads) and aggregates mean ± 95 % CI — the
-//! paper's 30-trial methodology. Everything is deterministic under the
-//! master seed, regardless of thread count.
+//! # The layering
+//!
+//! * [`SimCore`] is the resumable heart of the crate: an explicit-lifecycle
+//!   state machine with [`step`](SimCore::step) /
+//!   [`run_until`](SimCore::run_until) /
+//!   [`inject`](SimCore::inject) (online, open-world task arrival) /
+//!   [`state`](SimCore::state) (read-only mid-trial inspection), plus
+//!   streaming [`SimObserver`]s that receive a [`SimEvent`] for every
+//!   map/start/complete/drop/degrade/kill/failure/repair decision.
+//! * [`Simulation`] is the legacy closed-world wrapper: assemble, call
+//!   [`run`](Simulation::run), get a [`TrialResult`]. Byte-identical to
+//!   stepping a [`SimCore`] over the same inputs.
+//! * [`TrialRunner`] repeats trials with independent workload seeds in
+//!   parallel (crossbeam scoped threads) and aggregates mean ± 95 % CI — the
+//!   paper's 30-trial methodology. Everything is deterministic under the
+//!   master seed, regardless of thread count.
+//!
+//! Misuse (zero queue sizes, empty reports, injecting into the past, …)
+//! surfaces as a typed [`SimError`] from the `Result`-returning entry
+//! points; the legacy wrappers panic on the same conditions.
 
 #![warn(missing_docs)]
 
 mod config;
+mod core;
 mod engine;
+mod error;
 mod event;
 mod metrics;
+mod observer;
 mod report;
 mod runner;
 
 pub use config::{DropperKind, FailureSpec, SimConfig};
+pub use core::{MachineState, QueuedState, RunningState, SimCore, SimState, StepOutcome};
 pub use engine::Simulation;
+pub use error::SimError;
 pub use metrics::{TaskFate, TrialResult};
+pub use observer::{DropKind, EventLog, MetricsObserver, SimEvent, SimObserver};
 pub use report::SimReport;
 pub use runner::{RunSpec, TrialRunner};

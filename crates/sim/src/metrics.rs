@@ -65,6 +65,66 @@ pub struct TrialResult {
 }
 
 impl TrialResult {
+    /// Aggregates per-task fates and per-machine busy time into a result —
+    /// the single definition of the counted window, the fate tally, and the
+    /// busy-ticks→dollars conversion, shared by the engine's own accounting
+    /// (`SimCore::result`) and the stream-reconstructed one
+    /// (`MetricsObserver::result`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fate inside the counted window is still `None`; callers
+    /// check drain first.
+    pub(crate) fn from_accounting(
+        fates: &[Option<TaskFate>],
+        exclude_boundary: usize,
+        approx_value: f64,
+        busy_ticks: Vec<u64>,
+        prices_per_hour: &[f64],
+        makespan: Tick,
+        mapping_events: u64,
+    ) -> TrialResult {
+        let n = fates.len();
+        let lo = exclude_boundary.min(n);
+        let hi = n.saturating_sub(exclude_boundary).max(lo);
+        let mut on_time = 0;
+        let mut on_time_approx = 0;
+        let mut late = 0;
+        let mut reactive = 0;
+        let mut proactive = 0;
+        let mut lost = 0;
+        for fate in &fates[lo..hi] {
+            match fate.expect("every task must have a fate after drain") {
+                TaskFate::OnTime => on_time += 1,
+                TaskFate::OnTimeApprox => on_time_approx += 1,
+                TaskFate::Late => late += 1,
+                TaskFate::DroppedReactive => reactive += 1,
+                TaskFate::DroppedProactive => proactive += 1,
+                TaskFate::LostToFailure => lost += 1,
+            }
+        }
+        let cost_dollars: f64 = busy_ticks
+            .iter()
+            .zip(prices_per_hour)
+            .map(|(&busy, &price)| busy as f64 / 3_600_000.0 * price)
+            .sum();
+        TrialResult {
+            total_tasks: n,
+            counted_tasks: hi - lo,
+            on_time,
+            on_time_approx,
+            approx_value,
+            late,
+            dropped_reactive: reactive,
+            dropped_proactive: proactive,
+            lost_to_failure: lost,
+            busy_ticks,
+            cost_dollars,
+            makespan,
+            mapping_events,
+        }
+    }
+
     /// Robustness: percentage of counted tasks completed on time at full
     /// fidelity (the paper's headline metric; approximate completions do
     /// not count here).

@@ -1,0 +1,414 @@
+//! Streaming observation of a running trial.
+//!
+//! A [`SimObserver`] attached to a [`SimCore`](crate::SimCore) receives one
+//! [`SimEvent`] for every state change the engine makes — mapping, starts,
+//! completions, drops, degradations, deadline kills, machine failures and
+//! repairs — as it happens, instead of waiting for the end-of-trial
+//! [`TrialResult`]. Observers are strictly read-only: they cannot influence
+//! the trial, so an instrumented run is byte-identical to a bare one.
+//!
+//! [`MetricsObserver`] rebuilds a full [`TrialResult`] from nothing but the
+//! event stream; the integration tests assert it matches the engine's own
+//! accounting exactly, which pins down the stream's completeness (every task
+//! receives exactly one terminal event, busy time is fully attributed).
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::metrics::{TaskFate, TrialResult};
+use taskdrop_model::{MachineId, Task, TaskId};
+use taskdrop_pmf::Tick;
+use taskdrop_workload::Scenario;
+
+/// Why a task was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// The engine's reactive rule: the deadline had already passed while the
+    /// task waited (batch queue, machine queue, or at the head of the queue
+    /// when the machine became free).
+    Reactive,
+    /// The configured dropping policy sacrificed the task to raise the
+    /// queue's instantaneous robustness.
+    Proactive,
+}
+
+/// One engine state change, streamed to observers as it happens.
+///
+/// Every task admitted to the core receives **exactly one terminal event**:
+/// [`SimEvent::Completed`], [`SimEvent::Killed`], [`SimEvent::Dropped`], or
+/// [`SimEvent::MachineFailed`] with `lost = Some(id)`. All other events are
+/// lifecycle notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A task entered the batch queue (its arrival tick is `task.arrival`).
+    Arrived {
+        /// The arriving task.
+        task: Task,
+    },
+    /// The mapping heuristic assigned a task to a machine queue.
+    Mapped {
+        /// The mapped task.
+        task: TaskId,
+        /// Destination machine.
+        machine: MachineId,
+        /// Mapping time.
+        now: Tick,
+    },
+    /// A task began executing.
+    Started {
+        /// The started task.
+        task: TaskId,
+        /// Executing machine.
+        machine: MachineId,
+        /// Start time.
+        now: Tick,
+        /// Whether it runs the approximate (degraded) variant.
+        degraded: bool,
+    },
+    /// The dropping policy degraded a queued task to its approximate variant.
+    Degraded {
+        /// The degraded task.
+        task: TaskId,
+        /// Machine whose queue holds the task.
+        machine: MachineId,
+        /// Decision time.
+        now: Tick,
+    },
+    /// A task ran to completion. **Terminal.**
+    Completed {
+        /// The completed task.
+        task: TaskId,
+        /// Executing machine.
+        machine: MachineId,
+        /// Completion time.
+        now: Tick,
+        /// Whether it finished strictly before its deadline.
+        on_time: bool,
+        /// Whether it ran the approximate (degraded) variant.
+        degraded: bool,
+    },
+    /// A running task was killed at its deadline (live-video semantics;
+    /// counted as a reactive drop). **Terminal.**
+    Killed {
+        /// The killed task.
+        task: TaskId,
+        /// Machine it was running on.
+        machine: MachineId,
+        /// Kill time (the task's deadline).
+        now: Tick,
+    },
+    /// A waiting task was dropped. **Terminal.**
+    Dropped {
+        /// The dropped task.
+        task: TaskId,
+        /// Drop time.
+        now: Tick,
+        /// Reactive expiry or a proactive policy decision.
+        kind: DropKind,
+    },
+    /// A machine failed; any running task is lost. **Terminal** for `lost`.
+    MachineFailed {
+        /// The failed machine.
+        machine: MachineId,
+        /// Failure time.
+        now: Tick,
+        /// The task lost mid-execution, if the machine was busy.
+        lost: Option<TaskId>,
+    },
+    /// A machine came back from repair.
+    MachineRepaired {
+        /// The repaired machine.
+        machine: MachineId,
+        /// Repair time.
+        now: Tick,
+    },
+    /// A mapping event (reactive drops → policy → mapper → starts) finished.
+    /// Emitted once per [`SimCore::step`](crate::SimCore::step); marks a
+    /// consistent point for dashboards and metrics.
+    MappingRound {
+        /// Time of the mapping event.
+        now: Tick,
+    },
+}
+
+impl SimEvent {
+    /// If this event is terminal for a task, the task and its
+    /// [`TaskFate`] — the same mapping the engine's own accounting uses.
+    #[must_use]
+    pub fn resolved(&self) -> Option<(TaskId, TaskFate)> {
+        match *self {
+            SimEvent::Completed { task, on_time, degraded, .. } => {
+                let fate = match (on_time, degraded) {
+                    (true, false) => TaskFate::OnTime,
+                    (true, true) => TaskFate::OnTimeApprox,
+                    (false, _) => TaskFate::Late,
+                };
+                Some((task, fate))
+            }
+            SimEvent::Killed { task, .. } => Some((task, TaskFate::DroppedReactive)),
+            SimEvent::Dropped { task, kind, .. } => {
+                let fate = match kind {
+                    DropKind::Reactive => TaskFate::DroppedReactive,
+                    DropKind::Proactive => TaskFate::DroppedProactive,
+                };
+                Some((task, fate))
+            }
+            SimEvent::MachineFailed { lost: Some(task), .. } => {
+                Some((task, TaskFate::LostToFailure))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A read-only subscriber to the engine's event stream.
+///
+/// Observers run synchronously inside [`SimCore::step`](crate::SimCore::step)
+/// in attachment order; keep `on_event` cheap for hot trials.
+pub trait SimObserver {
+    /// Called for every [`SimEvent`], in simulation order.
+    fn on_event(&mut self, ev: &SimEvent);
+}
+
+/// Any `FnMut(&SimEvent)` closure is an observer.
+impl<F: FnMut(&SimEvent)> SimObserver for F {
+    fn on_event(&mut self, ev: &SimEvent) {
+        self(ev)
+    }
+}
+
+/// An observer that records every event (tests, offline analysis, replays).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// Events in simulation order.
+    pub events: Vec<SimEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+}
+
+impl SimObserver for EventLog {
+    fn on_event(&mut self, ev: &SimEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// Rebuilds a [`TrialResult`] from the event stream alone.
+///
+/// This is the "metrics as a pluggable observer" half of the API: it holds
+/// no reference to the engine and sees only what every other observer sees,
+/// yet [`MetricsObserver::result`] reproduces the engine's own
+/// [`TrialResult`] byte for byte (asserted by the integration tests). Use it
+/// as a template for custom streaming metrics.
+///
+/// Attach it **before the first step**: the reconstruction can only cover
+/// events the observer actually saw, so one attached mid-trial reports only
+/// the remainder (tasks resolved earlier are missing from its totals, and
+/// executions already in flight contribute no busy time).
+#[derive(Debug)]
+pub struct MetricsObserver {
+    exclude_boundary: usize,
+    approx_value: f64,
+    /// Hourly price per machine index (from the scenario's machine types).
+    prices: Vec<f64>,
+    fates: Vec<Option<TaskFate>>,
+    busy_ticks: Vec<u64>,
+    /// Start tick of each machine's current execution.
+    running_since: Vec<Option<Tick>>,
+    makespan: Tick,
+    mapping_events: u64,
+}
+
+impl MetricsObserver {
+    /// An observer mirroring the accounting the engine would do under
+    /// `config` on `scenario`.
+    #[must_use]
+    pub fn new(scenario: &Scenario, config: &SimConfig) -> Self {
+        MetricsObserver {
+            exclude_boundary: config.exclude_boundary,
+            approx_value: config.approx.map_or(0.0, |a| a.value),
+            prices: scenario.machines.iter().map(|m| scenario.price_per_hour(m.id)).collect(),
+            fates: Vec::new(),
+            busy_ticks: vec![0; scenario.machine_count()],
+            running_since: vec![None; scenario.machine_count()],
+            makespan: 0,
+            mapping_events: 0,
+        }
+    }
+
+    fn set_fate(&mut self, task: TaskId, fate: TaskFate) {
+        let idx = task.index();
+        if self.fates.len() <= idx {
+            self.fates.resize(idx + 1, None);
+        }
+        debug_assert!(self.fates[idx].is_none(), "task {task} resolved twice in event stream");
+        self.fates[idx] = Some(fate);
+    }
+
+    fn accrue_busy(&mut self, machine: MachineId, now: Tick) {
+        // A missing start means the observer was attached while this
+        // execution was already running; its ticks cannot be attributed.
+        if let Some(start) = self.running_since[machine.index()].take() {
+            self.busy_ticks[machine.index()] += now - start;
+        }
+    }
+
+    /// The reconstructed [`TrialResult`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotDrained`] if any observed task has no terminal event
+    /// yet.
+    pub fn result(&self) -> Result<TrialResult, SimError> {
+        let n = self.fates.len();
+        let resolved = self.fates.iter().filter(|f| f.is_some()).count();
+        if resolved != n {
+            return Err(SimError::NotDrained { resolved, total: n });
+        }
+        Ok(TrialResult::from_accounting(
+            &self.fates,
+            self.exclude_boundary,
+            self.approx_value,
+            self.busy_ticks.clone(),
+            &self.prices,
+            self.makespan,
+            self.mapping_events,
+        ))
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_event(&mut self, ev: &SimEvent) {
+        if let Some((task, fate)) = ev.resolved() {
+            self.set_fate(task, fate);
+        }
+        match *ev {
+            SimEvent::Arrived { task } => {
+                // Reserve the fate slot so totals count tasks that are still
+                // in flight.
+                let idx = task.id.index();
+                if self.fates.len() <= idx {
+                    self.fates.resize(idx + 1, None);
+                }
+            }
+            SimEvent::Started { machine, now, .. } => {
+                self.running_since[machine.index()] = Some(now);
+            }
+            SimEvent::Completed { machine, now, .. } | SimEvent::Killed { machine, now, .. } => {
+                self.accrue_busy(machine, now);
+            }
+            SimEvent::MachineFailed { machine, now, lost: Some(_) } => {
+                self.accrue_busy(machine, now);
+            }
+            SimEvent::MappingRound { now } => {
+                self.makespan = now;
+                self.mapping_events += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskdrop_model::TaskTypeId;
+
+    fn task(id: u64) -> Task {
+        Task::new(TaskId(id), TaskTypeId(0), 5, 50)
+    }
+
+    #[test]
+    fn resolved_maps_terminal_events_to_fates() {
+        let m = MachineId(0);
+        let cases = [
+            (
+                SimEvent::Completed {
+                    task: TaskId(1),
+                    machine: m,
+                    now: 9,
+                    on_time: true,
+                    degraded: false,
+                },
+                Some((TaskId(1), TaskFate::OnTime)),
+            ),
+            (
+                SimEvent::Completed {
+                    task: TaskId(1),
+                    machine: m,
+                    now: 9,
+                    on_time: true,
+                    degraded: true,
+                },
+                Some((TaskId(1), TaskFate::OnTimeApprox)),
+            ),
+            (
+                SimEvent::Completed {
+                    task: TaskId(1),
+                    machine: m,
+                    now: 9,
+                    on_time: false,
+                    degraded: false,
+                },
+                Some((TaskId(1), TaskFate::Late)),
+            ),
+            (
+                SimEvent::Killed { task: TaskId(2), machine: m, now: 9 },
+                Some((TaskId(2), TaskFate::DroppedReactive)),
+            ),
+            (
+                SimEvent::Dropped { task: TaskId(3), now: 9, kind: DropKind::Proactive },
+                Some((TaskId(3), TaskFate::DroppedProactive)),
+            ),
+            (
+                SimEvent::MachineFailed { machine: m, now: 9, lost: Some(TaskId(4)) },
+                Some((TaskId(4), TaskFate::LostToFailure)),
+            ),
+            (SimEvent::MachineFailed { machine: m, now: 9, lost: None }, None),
+            (SimEvent::Arrived { task: task(0) }, None),
+            (SimEvent::MappingRound { now: 9 }, None),
+        ];
+        for (ev, want) in cases {
+            assert_eq!(ev.resolved(), want, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut count = 0usize;
+        {
+            let mut obs = |_: &SimEvent| count += 1;
+            obs.on_event(&SimEvent::MappingRound { now: 1 });
+            obs.on_event(&SimEvent::MappingRound { now: 2 });
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::new();
+        log.on_event(&SimEvent::Arrived { task: task(0) });
+        log.on_event(&SimEvent::MappingRound { now: 5 });
+        assert_eq!(log.events.len(), 2);
+        assert!(matches!(log.events[1], SimEvent::MappingRound { now: 5 }));
+    }
+
+    #[test]
+    fn metrics_observer_reports_not_drained_mid_flight() {
+        let scenario = Scenario::transcode(1);
+        let mut obs = MetricsObserver::new(&scenario, &SimConfig::default());
+        obs.on_event(&SimEvent::Arrived { task: task(0) });
+        assert_eq!(obs.result(), Err(SimError::NotDrained { resolved: 0, total: 1 }));
+        obs.on_event(&SimEvent::Dropped { task: TaskId(0), now: 60, kind: DropKind::Reactive });
+        obs.on_event(&SimEvent::MappingRound { now: 60 });
+        let r = obs.result().expect("drained");
+        assert_eq!(r.total_tasks, 1);
+        assert_eq!(r.mapping_events, 1);
+        assert_eq!(r.makespan, 60);
+    }
+}

@@ -1,6 +1,7 @@
 //! Aggregation of repeated trials into the paper's reporting format:
 //! mean ± 95 % confidence interval.
 
+use crate::error::SimError;
 use crate::metrics::TrialResult;
 use serde::{Deserialize, Serialize};
 use taskdrop_stats::Summary;
@@ -27,24 +28,31 @@ impl SimReport {
         format!("{}+{}", self.mapper, self.dropper)
     }
 
+    /// Summarises one scalar per trial; `Err` on an empty report instead of
+    /// the panic `Summary::of` would raise.
+    fn summarise(&self, metric: impl Fn(&TrialResult) -> f64) -> Result<Summary, SimError> {
+        if self.trials.is_empty() {
+            return Err(SimError::EmptyReport);
+        }
+        Ok(Summary::of(&self.trials.iter().map(metric).collect::<Vec<_>>()))
+    }
+
     /// Robustness (% tasks completed on time): mean ± CI over trials.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the report has no trials.
-    #[must_use]
-    pub fn robustness(&self) -> Summary {
-        Summary::of(&self.trials.iter().map(TrialResult::robustness_pct).collect::<Vec<_>>())
+    /// [`SimError::EmptyReport`] if the report has no trials.
+    pub fn robustness(&self) -> Result<Summary, SimError> {
+        self.summarise(TrialResult::robustness_pct)
     }
 
     /// Normalised cost (dollars per robustness point, Figure 9).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the report has no trials.
-    #[must_use]
-    pub fn cost_per_robustness(&self) -> Summary {
-        Summary::of(&self.trials.iter().map(TrialResult::cost_per_robustness).collect::<Vec<_>>())
+    /// [`SimError::EmptyReport`] if the report has no trials.
+    pub fn cost_per_robustness(&self) -> Result<Summary, SimError> {
+        self.summarise(TrialResult::cost_per_robustness)
     }
 
     /// Fraction of drops that were reactive, over trials that dropped
@@ -58,12 +66,11 @@ impl SimReport {
 
     /// Mean dollar cost per trial.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the report has no trials.
-    #[must_use]
-    pub fn cost_dollars(&self) -> Summary {
-        Summary::of(&self.trials.iter().map(|t| t.cost_dollars).collect::<Vec<_>>())
+    /// [`SimError::EmptyReport`] if the report has no trials.
+    pub fn cost_dollars(&self) -> Result<Summary, SimError> {
+        self.summarise(|t| t.cost_dollars)
     }
 }
 
@@ -110,9 +117,25 @@ mod tests {
             dropper: "ReactDrop".into(),
             trials: vec![trial(30), trial(40), trial(50)],
         };
-        let s = r.robustness();
+        let s = r.robustness().unwrap();
         assert_eq!(s.n, 3);
         assert!((s.mean - 40.0).abs() < 1e-12);
         assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_a_typed_error_not_a_panic() {
+        use crate::error::SimError;
+        let r = SimReport {
+            scenario: "s".into(),
+            level: "l".into(),
+            mapper: "MM".into(),
+            dropper: "ReactDrop".into(),
+            trials: vec![],
+        };
+        assert_eq!(r.robustness().err(), Some(SimError::EmptyReport));
+        assert_eq!(r.cost_per_robustness().err(), Some(SimError::EmptyReport));
+        assert_eq!(r.cost_dollars().err(), Some(SimError::EmptyReport));
+        assert_eq!(r.reactive_drop_fraction(), None);
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::config::{DropperKind, SimConfig};
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::metrics::TrialResult;
 use crate::report::SimReport;
 use parking_lot::Mutex;
@@ -20,7 +21,7 @@ use taskdrop_stats::derive_seed;
 use taskdrop_workload::{OversubscriptionLevel, Scenario, Workload};
 
 /// One experimental configuration to repeat across trials.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSpec {
     /// Oversubscription level (tasks + window).
     pub level: OversubscriptionLevel,
@@ -64,10 +65,40 @@ impl TrialRunner {
     ///
     /// # Panics
     ///
-    /// Panics if `trials == 0`.
+    /// Panics if `trials == 0` or the spec's config is invalid; see
+    /// [`TrialRunner::try_run`] for the `Result`-returning equivalent.
     #[must_use]
     pub fn run(&self, scenario: &Scenario, spec: &RunSpec) -> SimReport {
-        assert!(self.trials > 0, "need at least one trial");
+        self.try_run(scenario, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks the runner/spec combination without running anything — the
+    /// single definition of "this experiment is well-formed", shared with
+    /// `ExperimentBuilder::build` in the umbrella crate.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ZeroTrials`] if the runner was configured with zero
+    /// trials, [`SimError::InvalidGamma`] for a non-finite or negative
+    /// slack coefficient, or any configuration error from
+    /// [`SimConfig::validate`].
+    pub fn validate(&self, spec: &RunSpec) -> Result<(), SimError> {
+        if self.trials == 0 {
+            return Err(SimError::ZeroTrials);
+        }
+        if !spec.gamma.is_finite() || spec.gamma < 0.0 {
+            return Err(SimError::InvalidGamma);
+        }
+        spec.config.validate()
+    }
+
+    /// Runs all trials of `spec` on `scenario` and aggregates a report.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`TrialRunner::validate`].
+    pub fn try_run(&self, scenario: &Scenario, spec: &RunSpec) -> Result<SimReport, SimError> {
+        self.validate(spec)?;
         let results: Vec<Mutex<Option<TrialResult>>> =
             (0..self.trials).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -103,7 +134,7 @@ impl TrialRunner {
         })
         .expect("worker panicked");
 
-        SimReport {
+        Ok(SimReport {
             scenario: scenario.name.clone(),
             level: spec.level.label.clone(),
             mapper: spec.mapper.name().to_string(),
@@ -112,7 +143,7 @@ impl TrialRunner {
                 .into_iter()
                 .map(|slot| slot.into_inner().expect("every trial index visited"))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -154,6 +185,22 @@ mod tests {
         let a = TrialRunner { trials: 2, master_seed: 1, threads: 2 }.run(&scenario, &s);
         let b = TrialRunner { trials: 2, master_seed: 2, threads: 2 }.run(&scenario, &s);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_is_a_typed_error() {
+        let scenario = Scenario::specint(7);
+        let err = TrialRunner::new(0, 1).try_run(&scenario, &spec(50, 1_000)).err();
+        assert_eq!(err, Some(SimError::ZeroTrials));
+    }
+
+    #[test]
+    fn bad_gamma_is_a_typed_error() {
+        let scenario = Scenario::specint(7);
+        let mut s = spec(50, 1_000);
+        s.gamma = f64::NAN;
+        let err = TrialRunner::new(1, 1).try_run(&scenario, &s).err();
+        assert_eq!(err, Some(SimError::InvalidGamma));
     }
 
     #[test]

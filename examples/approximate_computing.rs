@@ -43,7 +43,7 @@ fn main() {
     println!(
         "{:<34} {:>14} {:>13.2}  {:>10}",
         "PAM + drop-only heuristic",
-        report.robustness(),
+        report.robustness().expect("trials"),
         utility.iter().sum::<f64>() / utility.len() as f64,
         0
     );
@@ -64,7 +64,7 @@ fn main() {
         println!(
             "{:<34} {:>14} {:>13.2}  {:>10}",
             format!("PAM + degrade (t x{factor}, v {value})"),
-            report.robustness(),
+            report.robustness().expect("trials"),
             utility.iter().sum::<f64>() / utility.len() as f64,
             degraded / report.trials.len(),
         );

@@ -32,27 +32,33 @@ fn main() {
     ];
     for (failures, label) in cases {
         let avail = failures.map_or(1.0, |f| f.availability());
+        // One chainable entry point instead of hand-wiring RunSpec + runner.
         let run = |dropper| {
-            let spec = RunSpec {
-                level: level.clone(),
-                gamma: 1.0,
-                mapper: HeuristicKind::Pam,
-                dropper,
-                config: SimConfig { failures, ..taskdrop::demo::scaled_config(scale) },
-            };
-            runner.run(&scenario, &spec)
+            ExperimentBuilder::specint(0xA5)
+                .at_level(level.clone())
+                .gamma(1.0)
+                .mapper(HeuristicKind::Pam)
+                .dropper(dropper)
+                .config(SimConfig { failures, ..taskdrop::demo::scaled_config(scale) })
+                .trials(runner.trials)
+                .master_seed(runner.master_seed)
+                .build()
+                .expect("valid experiment")
+                .run_on(&scenario)
+                .expect("valid experiment")
         };
         let with = run(DropperKind::heuristic_default());
         let without = run(DropperKind::ReactiveOnly);
         let lost: usize = with.trials.iter().map(|t| t.lost_to_failure).sum();
+        let (w, wo) = (with.robustness().expect("trials"), without.robustness().expect("trials"));
         println!(
             "{label:>14} {:>7.1}% {:>15.1} ±{:>4.1} {:>15.1} ±{:>4.1} {:>6.1}  ({} tasks lost mid-run)",
             avail * 100.0,
-            with.robustness().mean,
-            with.robustness().ci95,
-            without.robustness().mean,
-            without.robustness().ci95,
-            with.robustness().mean - without.robustness().mean,
+            w.mean,
+            w.ci95,
+            wo.mean,
+            wo.ci95,
+            w.mean - wo.mean,
             lost,
         );
     }

@@ -31,15 +31,22 @@ fn main() {
         for mult in multipliers {
             let window = (base_window as f64 / mult) as u64;
             let level = OversubscriptionLevel::new("sweep", base_tasks, window).scaled(scale);
+            // The fluent facade replaces the hand-built RunSpec + runner.
             let run = |dropper| {
-                let spec = RunSpec {
-                    level: level.clone(),
-                    gamma,
-                    mapper: HeuristicKind::Pam,
-                    dropper,
-                    config: taskdrop::demo::scaled_config(scale),
-                };
-                runner.run(&scenario, &spec).robustness()
+                ExperimentBuilder::specint(0xA5)
+                    .at_level(level.clone())
+                    .gamma(gamma)
+                    .mapper(HeuristicKind::Pam)
+                    .dropper(dropper)
+                    .config(taskdrop::demo::scaled_config(scale))
+                    .trials(runner.trials)
+                    .master_seed(runner.master_seed)
+                    .build()
+                    .expect("valid experiment")
+                    .run_on(&scenario)
+                    .expect("valid experiment")
+                    .robustness()
+                    .expect("trials")
             };
             let with = run(DropperKind::heuristic_default());
             let without = run(DropperKind::ReactiveOnly);

@@ -48,7 +48,7 @@ fn main() {
                 config: taskdrop::demo::scaled_config(scale),
             };
             let report = runner.run(&scenario, &spec);
-            cells.push(format!("{}", report.robustness()));
+            cells.push(format!("{}", report.robustness().expect("trials")));
         }
         println!("| {} | {} | {} |", mapper.name(), cells[0], cells[1]);
     }

@@ -18,8 +18,16 @@
 //! * [`core`] — the paper's contribution: proactive dropping heuristic,
 //!   optimal subset dropping, threshold baseline.
 //! * [`workload`] — SPECint-like and video-transcoding scenario generators.
-//! * [`sim`] — discrete-event simulator with metrics, cost model and a
-//!   parallel multi-trial runner.
+//! * [`sim`] — discrete-event simulator: the resumable
+//!   [`SimCore`](taskdrop_sim::SimCore) stepping API with online task
+//!   injection and streaming observers, metrics, cost model and a parallel
+//!   multi-trial runner.
+//! * [`experiment`] — the fluent
+//!   [`ExperimentBuilder`](experiment::ExperimentBuilder) facade: one
+//!   chainable, serialisable entry point for scenario + workload + policies
+//!   + trial plan.
+
+pub mod experiment;
 
 pub use taskdrop_core as core;
 pub use taskdrop_model as model;
@@ -89,6 +97,7 @@ pub mod demo {
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
+    pub use crate::experiment::{ExperimentBuilder, ExperimentSpec, ScenarioSpec};
     pub use taskdrop_core::{
         ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
         ThresholdDropper,
@@ -101,7 +110,9 @@ pub mod prelude {
     pub use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
     pub use taskdrop_sched::{Edf, Fcfs, HeuristicKind, MappingHeuristic, MinMin, Msd, Pam, Sjf};
     pub use taskdrop_sim::{
-        DropperKind, RunSpec, SimConfig, SimReport, Simulation, TrialResult, TrialRunner,
+        DropKind, DropperKind, EventLog, MetricsObserver, RunSpec, SimConfig, SimCore, SimError,
+        SimEvent, SimObserver, SimReport, SimState, Simulation, StepOutcome, TaskFate, TrialResult,
+        TrialRunner,
     };
     pub use taskdrop_workload::{
         OversubscriptionLevel, Scenario, Workload, SPECINT_WINDOW, TRANSCODE_WINDOW,
