@@ -1,0 +1,499 @@
+//! Admission control in front of [`SimCore::inject`].
+//!
+//! A serving front-end cannot pass every offered task straight into the
+//! engine: under oversubscription the batch queue would grow without bound
+//! and doomed work would waste capacity the dropping policy then has to
+//! claw back. The [`AdmissionController`] is a **bounded ingress queue**
+//! with a pluggable [`BackpressurePolicy`] deciding what happens when the
+//! bound is hit — and, for [`BackpressurePolicy::PreDrop`], a probabilistic
+//! gate that refuses tasks whose estimated chance of success is already
+//! below a threshold *before* they consume a queue slot. The estimate is
+//! the paper's Equation (2) applied at the front door: the best machine's
+//! queue-tail completion PMF (via
+//! [`SimCore::queue_tail_estimate`]) chained with the task's execution PMF
+//! through the deadline-aware convolution of Equation (1). This is the
+//! serverless-companion paper's "probabilistic task pruning" moved to
+//! admission time.
+//!
+//! Every refusal is counted in [`AdmissionStats`] *and* surfaced to the
+//! core's observers as a [`SimEvent::AdmissionDropped`] through
+//! [`SimCore::notify_observers`], so one observer chain sees the complete
+//! lifecycle from ingress to fate.
+//!
+//! [`SimCore::inject`]: taskdrop_sim::SimCore::inject
+//! [`SimCore::queue_tail_estimate`]: taskdrop_sim::SimCore::queue_tail_estimate
+//! [`SimCore::notify_observers`]: taskdrop_sim::SimCore::notify_observers
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use taskdrop_model::{MachineTypeId, PetMatrix};
+use taskdrop_pmf::{chance_of_success, deadline_convolve, Pmf, Tick};
+use taskdrop_sim::{AdmissionDropKind, SimCore, SimError, SimEvent};
+use taskdrop_workload::OfferedTask;
+
+/// What to do when the bounded ingress queue cannot absorb an offer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Turn new offers away while the queue is full (tail drop).
+    Reject,
+    /// Evict the oldest queued offer to make room for the newest one
+    /// (head drop — newest work has the freshest deadline).
+    ShedOldest,
+    /// Probabilistic pre-drop: once the ingress queue is at least half
+    /// full, estimate each offer's chance of success (Eq 2 over the best
+    /// machine's tail, Eq 1 chaining) and refuse it below `threshold`.
+    /// Offers that pass the gate still tail-drop when the queue is full.
+    PreDrop {
+        /// Minimum acceptable chance of success in `[0, 1]`.
+        threshold: f64,
+    },
+}
+
+/// Per-policy admission accounting. `offered` is conserved:
+/// `offered = admitted + turned_away() + still queued`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Tasks offered to the controller.
+    pub offered: u64,
+    /// Tasks injected into the core.
+    pub admitted: u64,
+    /// Offers refused because the ingress queue was full.
+    pub rejected_full: u64,
+    /// Queued offers evicted by [`BackpressurePolicy::ShedOldest`].
+    pub shed_oldest: u64,
+    /// Offers refused by the probabilistic pre-drop gate.
+    pub pre_dropped: u64,
+    /// Queued offers whose deadline passed before injection.
+    pub expired: u64,
+    /// Offers the core refused to inject (unknown task type — a
+    /// misconfigured traffic source).
+    #[serde(default)]
+    pub invalid: u64,
+}
+
+impl AdmissionStats {
+    /// Total offers the controller turned away (everything but admitted
+    /// and still-queued).
+    #[must_use]
+    pub fn turned_away(&self) -> u64 {
+        self.rejected_full + self.shed_oldest + self.pre_dropped + self.expired + self.invalid
+    }
+}
+
+/// The controller's verdict on one offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Queued for injection (possibly after shedding an older offer).
+    Accepted,
+    /// Turned away; the kind says which rule fired.
+    TurnedAway(AdmissionDropKind),
+}
+
+/// Bounded ingress queue + backpressure policy in front of one core.
+///
+/// Offers enter through [`AdmissionController::offer`] (in nondecreasing
+/// arrival order, as traffic sources produce them) and leave through
+/// [`AdmissionController::drain_due`], which injects everything due by the
+/// epoch boundary. The whole controller — policy, bound, queue contents,
+/// counters — is serde-serializable, so a shard checkpoint captures it
+/// wholesale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionController {
+    capacity: usize,
+    policy: BackpressurePolicy,
+    queue: VecDeque<OfferedTask>,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller holding at most `capacity` queued offers under
+    /// `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or a
+    /// [`BackpressurePolicy::PreDrop`] threshold is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        assert!(capacity > 0, "ingress queue needs at least one slot");
+        if let BackpressurePolicy::PreDrop { threshold } = policy {
+            assert!((0.0..=1.0).contains(&threshold), "pre-drop threshold must be a probability");
+        }
+        AdmissionController {
+            capacity,
+            policy,
+            queue: VecDeque::new(),
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The configured backpressure policy.
+    #[must_use]
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.policy
+    }
+
+    /// The ingress queue bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers currently waiting for injection.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Offers one task. `core` supplies the queue-tail estimates for the
+    /// pre-drop gate and carries the observers that refusals are surfaced
+    /// to; admission never mutates the trial itself. When offering a whole
+    /// batch against an unmoving core (a shard epoch), capture the tails
+    /// once and use [`AdmissionController::offer_with`] instead.
+    pub fn offer(&mut self, task: OfferedTask, core: &mut SimCore<'_>) -> AdmissionOutcome {
+        self.offer_impl(task, core, None)
+    }
+
+    /// [`AdmissionController::offer`] with pre-captured [`QueueTails`],
+    /// skipping the per-offer tail-chain recomputation. Sound whenever the
+    /// core has not advanced since [`QueueTails::capture`] — identical
+    /// decisions, O(machines + offers) instead of O(offers × machines)
+    /// chain convolutions per batch.
+    pub fn offer_with(
+        &mut self,
+        task: OfferedTask,
+        core: &mut SimCore<'_>,
+        tails: &QueueTails,
+    ) -> AdmissionOutcome {
+        self.offer_impl(task, core, Some(tails))
+    }
+
+    fn offer_impl(
+        &mut self,
+        task: OfferedTask,
+        core: &mut SimCore<'_>,
+        tails: Option<&QueueTails>,
+    ) -> AdmissionOutcome {
+        self.stats.offered += 1;
+        if let BackpressurePolicy::PreDrop { threshold } = self.policy {
+            // The gate opens at half occupancy: under light load every
+            // offer is admitted without touching the PMF machinery; under
+            // pressure it prices each offer the way the paper prices a
+            // queued task.
+            if 2 * self.queue.len() >= self.capacity {
+                let chance = match tails {
+                    Some(t) => t.best_chance(&core.scenario().pet, core.now(), &task),
+                    None => best_chance_of_success(core, &task),
+                };
+                if chance < threshold {
+                    return self.turn_away(task, AdmissionDropKind::PreDropped, core);
+                }
+            }
+        }
+        if self.queue.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::ShedOldest => {
+                    let oldest = self.queue.pop_front().expect("full queue has a head");
+                    self.record_refusal(&oldest, AdmissionDropKind::ShedOldest, core);
+                }
+                BackpressurePolicy::Reject | BackpressurePolicy::PreDrop { .. } => {
+                    return self.turn_away(task, AdmissionDropKind::RejectedFull, core);
+                }
+            }
+        }
+        self.queue.push_back(task);
+        AdmissionOutcome::Accepted
+    }
+
+    /// Injects every queued offer whose arrival is at or before `until`,
+    /// in offer order. An offer that out-waited the core's clock is
+    /// injected at the current simulation time (its deadline is
+    /// unchanged); one whose deadline already passed is dropped here as
+    /// [`AdmissionDropKind::Expired`]. Returns how many tasks were
+    /// injected.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownTaskType`] if an offer names a task type the
+    /// core's scenario lacks (a misconfigured traffic source); the failing
+    /// offer is consumed and counted as [`AdmissionStats::invalid`], so
+    /// the `offered` conservation identity survives the error.
+    pub fn drain_due(&mut self, core: &mut SimCore<'_>, until: Tick) -> Result<usize, SimError> {
+        let mut injected = 0;
+        while let Some(&front) = self.queue.front() {
+            if front.arrival > until {
+                break;
+            }
+            self.queue.pop_front();
+            let arrival = front.arrival.max(core.now());
+            if front.deadline <= arrival {
+                self.record_refusal(&front, AdmissionDropKind::Expired, core);
+                continue;
+            }
+            if let Err(e) = core.inject(front.type_id, arrival, front.deadline) {
+                // The failed offer is consumed (already popped) and
+                // counted, so `offered` stays conserved across the error.
+                self.record_refusal(&front, AdmissionDropKind::Invalid, core);
+                return Err(e);
+            }
+            self.stats.admitted += 1;
+            injected += 1;
+        }
+        Ok(injected)
+    }
+
+    /// The single refusal bookkeeper: every turned-away offer — rejected,
+    /// shed, pre-dropped or expired — bumps its counter and reaches the
+    /// observers through here, so stats and stream cannot drift apart.
+    fn record_refusal(
+        &mut self,
+        task: &OfferedTask,
+        kind: AdmissionDropKind,
+        core: &mut SimCore<'_>,
+    ) {
+        match kind {
+            AdmissionDropKind::RejectedFull => self.stats.rejected_full += 1,
+            AdmissionDropKind::ShedOldest => self.stats.shed_oldest += 1,
+            AdmissionDropKind::PreDropped => self.stats.pre_dropped += 1,
+            AdmissionDropKind::Expired => self.stats.expired += 1,
+            AdmissionDropKind::Invalid => self.stats.invalid += 1,
+        }
+        core.notify_observers(&admission_dropped(task, core.now(), kind));
+    }
+
+    fn turn_away(
+        &mut self,
+        task: OfferedTask,
+        kind: AdmissionDropKind,
+        core: &mut SimCore<'_>,
+    ) -> AdmissionOutcome {
+        self.record_refusal(&task, kind, core);
+        AdmissionOutcome::TurnedAway(kind)
+    }
+}
+
+fn admission_dropped(task: &OfferedTask, now: Tick, kind: AdmissionDropKind) -> SimEvent {
+    SimEvent::AdmissionDropped {
+        type_id: task.type_id,
+        arrival: task.arrival,
+        deadline: task.deadline,
+        now,
+        kind,
+    }
+}
+
+/// Queue-tail completion PMFs of every machine that can accept work,
+/// captured at one instant and reusable across a whole offer batch: a
+/// shard processes an epoch's offers against an unmoving core, so
+/// recomputing the tail chains (the engine's most expensive primitive) per
+/// offer would produce the same tails k times over.
+///
+/// Down machines are excluded — the mapper exposes no free slots on them,
+/// so pricing an offer against their idle-looking tails would wave
+/// hopeless work through the gate.
+#[derive(Debug, Clone)]
+pub struct QueueTails {
+    tails: Vec<(MachineTypeId, Pmf)>,
+}
+
+impl QueueTails {
+    /// Captures the tails of every *up* machine in `core`'s cluster.
+    #[must_use]
+    pub fn capture(core: &SimCore<'_>) -> Self {
+        let tails = core
+            .scenario()
+            .machines
+            .iter()
+            .filter(|m| core.machine_is_down(m.id) == Some(false))
+            .filter_map(|m| core.queue_tail_estimate(m.id).map(|tail| (m.type_id, tail)))
+            .collect();
+        QueueTails { tails }
+    }
+
+    /// How many machines were up at capture time.
+    #[must_use]
+    pub fn machines_up(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// The offer's best chance of success across the captured tails: for
+    /// each machine, chain the tail with the task's learned execution PMF
+    /// (Eq 1) and take the Eq 2 mass before the deadline; the mapper would
+    /// send the task to the best queue, so the max is the honest estimate.
+    /// 0 when every machine is down.
+    ///
+    /// The deadline is evaluated as the offer's *slack window opening at*
+    /// `now`, not at its absolute tick: queue tails are only known for the
+    /// present, so judging a late-in-epoch arrival's far-future deadline
+    /// against today's tails would wave everything through. The
+    /// slack-window form asks the question the paper's pruning asks —
+    /// "joining a queue shaped like this, does the task stand a chance?" —
+    /// independently of how far ahead the offer sits.
+    #[must_use]
+    pub fn best_chance(&self, pet: &PetMatrix, now: Tick, task: &OfferedTask) -> f64 {
+        let deadline = now + task.deadline.saturating_sub(task.arrival);
+        let mut best = 0.0f64;
+        for (machine_type, tail) in &self.tails {
+            let exec = pet.pmf(task.type_id, *machine_type);
+            let completion = deadline_convolve(tail, exec, deadline);
+            best = best.max(chance_of_success(&completion, deadline));
+        }
+        best
+    }
+}
+
+/// One-shot form of [`QueueTails::capture`] + [`QueueTails::best_chance`]:
+/// the offer's best chance of success across the cluster right now.
+#[must_use]
+pub fn best_chance_of_success(core: &SimCore<'_>, task: &OfferedTask) -> f64 {
+    QueueTails::capture(core).best_chance(&core.scenario().pet, core.now(), task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use taskdrop_core::ReactiveOnly;
+    use taskdrop_model::TaskTypeId;
+    use taskdrop_sched::Pam;
+    use taskdrop_sim::SimConfig;
+    use taskdrop_workload::Scenario;
+
+    fn offered(arrival: Tick, deadline: Tick) -> OfferedTask {
+        OfferedTask { type_id: TaskTypeId(0), arrival, deadline }
+    }
+
+    fn open_core(scenario: &Scenario) -> SimCore<'_> {
+        let config = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
+        SimCore::open(scenario, &Pam, &ReactiveOnly, config, 1).unwrap()
+    }
+
+    #[test]
+    fn reject_policy_tail_drops_when_full() {
+        let s = Scenario::specint(5);
+        let mut core = open_core(&s);
+        let mut ctl = AdmissionController::new(2, BackpressurePolicy::Reject);
+        assert_eq!(ctl.offer(offered(10, 500), &mut core), AdmissionOutcome::Accepted);
+        assert_eq!(ctl.offer(offered(20, 500), &mut core), AdmissionOutcome::Accepted);
+        assert_eq!(
+            ctl.offer(offered(30, 500), &mut core),
+            AdmissionOutcome::TurnedAway(AdmissionDropKind::RejectedFull)
+        );
+        assert_eq!(ctl.stats().rejected_full, 1);
+        assert_eq!(ctl.queued(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_head_and_reports_it() {
+        let s = Scenario::specint(5);
+        let dropped = RefCell::new(Vec::new());
+        let mut core = open_core(&s);
+        core.attach(|ev: &SimEvent| {
+            if let SimEvent::AdmissionDropped { arrival, kind, .. } = *ev {
+                dropped.borrow_mut().push((arrival, kind));
+            }
+        });
+        let mut ctl = AdmissionController::new(2, BackpressurePolicy::ShedOldest);
+        ctl.offer(offered(10, 500), &mut core);
+        ctl.offer(offered(20, 500), &mut core);
+        assert_eq!(ctl.offer(offered(30, 500), &mut core), AdmissionOutcome::Accepted);
+        assert_eq!(ctl.stats().shed_oldest, 1);
+        assert_eq!(ctl.queued(), 2);
+        assert_eq!(dropped.borrow().as_slice(), &[(10, AdmissionDropKind::ShedOldest)]);
+    }
+
+    #[test]
+    fn drain_injects_due_offers_and_expires_stale_ones() {
+        let s = Scenario::specint(5);
+        let mut core = open_core(&s);
+        let mut ctl = AdmissionController::new(8, BackpressurePolicy::Reject);
+        ctl.offer(offered(5, 400), &mut core);
+        ctl.offer(offered(50, 60), &mut core); // will out-wait its deadline
+        ctl.offer(offered(900, 1_500), &mut core); // not due yet
+        assert_eq!(ctl.drain_due(&mut core, 10).unwrap(), 1);
+        // Park an arrival event at t=70 so the clock provably passes the
+        // second offer's deadline before the next drain.
+        core.inject(TaskTypeId(0), 70, 800).unwrap();
+        core.run_until(70);
+        assert!(core.now() >= 60, "clock should have passed the stale deadline");
+        assert_eq!(ctl.drain_due(&mut core, 100).unwrap(), 0);
+        let stats = ctl.stats();
+        assert_eq!((stats.admitted, stats.expired), (1, 1));
+        assert_eq!(ctl.queued(), 1, "the far-future offer stays queued");
+        assert_eq!(core.total_tasks(), 2, "one admitted + one parked helper");
+    }
+
+    #[test]
+    fn predrop_gate_refuses_hopeless_offers_under_pressure() {
+        let s = Scenario::specint(5);
+        let mut core = open_core(&s);
+        let mut ctl = AdmissionController::new(4, BackpressurePolicy::PreDrop { threshold: 0.25 });
+        // Below half occupancy the gate stays closed even for an offer
+        // whose deadline leaves room for nothing (clock is 0, so a
+        // deadline of 1 admits only a sub-1-tick completion).
+        assert_eq!(ctl.offer(offered(0, 1), &mut core), AdmissionOutcome::Accepted);
+        ctl.offer(offered(12, 600), &mut core);
+        // Now at half occupancy: the same hopeless shape is pre-dropped; a
+        // roomy one passes.
+        assert_eq!(
+            ctl.offer(offered(0, 1), &mut core),
+            AdmissionOutcome::TurnedAway(AdmissionDropKind::PreDropped)
+        );
+        assert_eq!(ctl.offer(offered(20, 900), &mut core), AdmissionOutcome::Accepted);
+        assert_eq!(ctl.stats().pre_dropped, 1);
+    }
+
+    #[test]
+    fn best_chance_is_high_on_an_idle_cluster_with_roomy_deadline() {
+        let s = Scenario::specint(5);
+        let core = open_core(&s);
+        let roomy = best_chance_of_success(&core, &offered(0, 5_000));
+        let hopeless = best_chance_of_success(&core, &offered(0, 1));
+        assert!(roomy > 0.9, "idle cluster, roomy deadline: {roomy}");
+        assert!(hopeless < 0.05, "1-tick deadline: {hopeless}");
+        // The batched form prices identically to the one-shot form.
+        let tails = QueueTails::capture(&core);
+        assert_eq!(tails.machines_up(), s.machine_count());
+        let batched = tails.best_chance(&s.pet, core.now(), &offered(0, 5_000));
+        assert!((batched - roomy).abs() < 1e-15);
+    }
+
+    #[test]
+    fn captured_tails_skip_down_machines() {
+        use taskdrop_sim::FailureSpec;
+        let s = Scenario::specint(5);
+        // Machines fail almost immediately and repair glacially, so after a
+        // while the cluster is (mostly) down.
+        let config = SimConfig {
+            exclude_boundary: 0,
+            failures: Some(FailureSpec { mtbf: 40, mttr: 1_000_000 }),
+            ..SimConfig::default()
+        };
+        let mut core = SimCore::open(&s, &Pam, &ReactiveOnly, config, 3).unwrap();
+        core.inject(TaskTypeId(0), 8_000, 9_000).unwrap(); // keeps events flowing
+        core.run_until(6_000);
+        let down = s.machines.iter().filter(|m| core.machine_is_down(m.id) == Some(true)).count();
+        assert!(down > 0, "failure spec should have downed at least one machine");
+        let tails = QueueTails::capture(&core);
+        assert_eq!(tails.machines_up(), s.machine_count() - down);
+    }
+
+    #[test]
+    fn controller_serde_roundtrip_preserves_queue_and_stats() {
+        let s = Scenario::specint(5);
+        let mut core = open_core(&s);
+        let mut ctl = AdmissionController::new(2, BackpressurePolicy::ShedOldest);
+        ctl.offer(offered(10, 500), &mut core);
+        ctl.offer(offered(20, 500), &mut core);
+        ctl.offer(offered(30, 500), &mut core);
+        let json = serde_json::to_string(&ctl).unwrap();
+        let back: AdmissionController = serde_json::from_str(&json).unwrap();
+        assert_eq!(ctl, back);
+    }
+}

@@ -1,0 +1,349 @@
+//! The service event loop: many shards, one virtual clock.
+
+use crate::shard::Shard;
+use crate::ServeError;
+use taskdrop_pmf::Tick;
+
+/// Multiplexes independent [`Shard`]s — one per tenant or cluster —
+/// against a shared virtual clock, in fixed *epochs*: each
+/// [`ServiceDriver::advance`] call moves every shard from the current
+/// clock to `clock + delta` (feed arrivals → admission → inject → run).
+///
+/// With a checkpoint interval configured, the driver snapshots every shard
+/// periodically, and [`ServiceDriver::kill_and_restore`] can discard a
+/// shard's live state mid-flight and revive it from its last checkpoint.
+/// The revived shard is *caught back up* by replaying the recorded epoch
+/// boundaries, and because every layer is deterministic (keyed RNG draws,
+/// serialized cursors, epoch-granular admission), the replay reproduces
+/// the killed shard's state exactly — service continues as if nothing had
+/// happened (asserted by this module's tests).
+pub struct ServiceDriver<'a> {
+    shards: Vec<Shard<'a>>,
+    clock: Tick,
+    checkpoint_every: Option<Tick>,
+    next_checkpoint: Tick,
+    /// Whether any checkpoint sweep has happened yet; until one has, the
+    /// replay log below would be useless (restore has nothing to start
+    /// from) and is not kept, so a never-checkpointing driver does not
+    /// accumulate boundaries forever.
+    has_checkpoint: bool,
+    /// Epoch boundaries since the last checkpoint sweep, oldest first —
+    /// the replay schedule for [`ServiceDriver::kill_and_restore`]. Its
+    /// length (and the cost of a later catch-up replay) is bounded by the
+    /// epochs between sweeps: periodic checkpointing keeps it small
+    /// automatically; a driver that checkpoints only manually must sweep
+    /// ([`ServiceDriver::checkpoint_all`]) at its own cadence to trim it.
+    epoch_log: Vec<Tick>,
+}
+
+impl<'a> ServiceDriver<'a> {
+    /// An empty driver at clock 0 with no automatic checkpoints.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceDriver {
+            shards: Vec::new(),
+            clock: 0,
+            checkpoint_every: None,
+            next_checkpoint: 0,
+            has_checkpoint: false,
+            epoch_log: Vec::new(),
+        }
+    }
+
+    /// Enables periodic checkpoints: after each epoch that reaches or
+    /// passes the next multiple of `interval`, every shard is snapshotted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, interval: Tick) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(interval);
+        self.next_checkpoint = self.clock + interval;
+        self
+    }
+
+    /// Adds a shard and returns its index.
+    pub fn add_shard(&mut self, shard: Shard<'a>) -> usize {
+        self.shards.push(shard);
+        self.shards.len() - 1
+    }
+
+    /// The shared virtual clock.
+    #[must_use]
+    pub fn clock(&self) -> Tick {
+        self.clock
+    }
+
+    /// All shards, in add order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard<'a>] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard (e.g. to attach observers).
+    pub fn shard_mut(&mut self, index: usize) -> Option<&mut Shard<'a>> {
+        self.shards.get_mut(index)
+    }
+
+    /// Whether every shard is idle (sources exhausted, ingress empty,
+    /// cores drained).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.shards.iter().all(Shard::is_idle)
+    }
+
+    /// Runs one epoch: advances every shard to `clock + delta`, then takes
+    /// the periodic checkpoints if one is due. Returns the new clock.
+    ///
+    /// # Errors
+    ///
+    /// The first shard error encountered; the clock is not advanced past a
+    /// failing epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is zero.
+    pub fn advance(&mut self, delta: Tick) -> Result<Tick, ServeError> {
+        assert!(delta > 0, "epoch must advance the clock");
+        let until = self.clock + delta;
+        for shard in &mut self.shards {
+            shard.advance_to(until)?;
+        }
+        self.clock = until;
+        if self.has_checkpoint {
+            self.epoch_log.push(until);
+        }
+        if let Some(interval) = self.checkpoint_every {
+            if self.clock >= self.next_checkpoint {
+                self.checkpoint_all();
+                while self.next_checkpoint <= self.clock {
+                    self.next_checkpoint += interval;
+                }
+            }
+        }
+        Ok(self.clock)
+    }
+
+    /// Snapshots every shard at the current clock and trims the replay log
+    /// (boundaries at or before a fresh checkpoint can never be needed
+    /// again).
+    pub fn checkpoint_all(&mut self) {
+        let clock = self.clock;
+        for shard in &mut self.shards {
+            shard.take_checkpoint(clock);
+        }
+        self.has_checkpoint = true;
+        self.epoch_log.retain(|&t| t > clock);
+    }
+
+    /// Kills shard `index`'s live state, revives it from its last
+    /// checkpoint, and replays the epochs between that checkpoint and the
+    /// current clock so the shard rejoins the fleet fully caught up.
+    /// Determinism makes the catch-up byte-identical to the lost state.
+    /// Returns the tick of the checkpoint it was revived from.
+    ///
+    /// Observers attached to the killed shard are gone; re-attach via
+    /// [`ServiceDriver::shard_mut`] if needed (they will not re-see the
+    /// replayed interval's events).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] for a bad index,
+    /// [`ServeError::NoCheckpoint`] if the shard was never checkpointed,
+    /// or any restore/replay error.
+    pub fn kill_and_restore(&mut self, index: usize) -> Result<Tick, ServeError> {
+        let shards = self.shards.len();
+        let shard = self.shards.get_mut(index).ok_or(ServeError::UnknownShard { index, shards })?;
+        let revived_at = shard.restore_last()?;
+        for &boundary in self.epoch_log.iter().filter(|&&t| t > revived_at) {
+            shard.advance_to(boundary)?;
+        }
+        Ok(revived_at)
+    }
+
+    /// Advances in fixed `epoch`-sized steps until every shard is idle or
+    /// `max_epochs` have run, returning how many epochs ran. Callers that
+    /// need a guarantee should check [`ServiceDriver::is_idle`] after.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`ServiceDriver::advance`].
+    pub fn run_until_idle(&mut self, epoch: Tick, max_epochs: usize) -> Result<usize, ServeError> {
+        let mut epochs = 0;
+        while epochs < max_epochs && !self.is_idle() {
+            self.advance(epoch)?;
+            epochs += 1;
+        }
+        Ok(epochs)
+    }
+}
+
+impl Default for ServiceDriver<'_> {
+    fn default() -> Self {
+        ServiceDriver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{AdmissionController, BackpressurePolicy};
+    use taskdrop_core::{DropPolicy, ProactiveDropper, ReactiveOnly};
+    use taskdrop_sched::Pam;
+    use taskdrop_sim::{SimConfig, TrialResult};
+    use taskdrop_workload::{BurstySource, DiurnalSource, Scenario, TrafficSource};
+
+    fn config() -> SimConfig {
+        SimConfig { exclude_boundary: 0, ..SimConfig::default() }
+    }
+
+    fn bursty() -> TrafficSource {
+        TrafficSource::Bursty(BurstySource::new(21, 0.5, 0.0, 400, 900, 350, 12, 220))
+    }
+
+    fn diurnal() -> TrafficSource {
+        TrafficSource::Diurnal(DiurnalSource::new(33, 0.12, 0.9, 3_000, 450, 12, 180))
+    }
+
+    /// Builds the two-shard fleet every test drives.
+    fn fleet<'a>(
+        scenario: &'a Scenario,
+        dropper: &'a dyn DropPolicy,
+        checkpoint_every: Option<Tick>,
+    ) -> ServiceDriver<'a> {
+        let mut driver = match checkpoint_every {
+            Some(i) => ServiceDriver::new().with_checkpoint_every(i),
+            None => ServiceDriver::new(),
+        };
+        driver.add_shard(
+            Shard::new(
+                "bursty",
+                scenario,
+                &Pam,
+                dropper,
+                config(),
+                7,
+                bursty(),
+                AdmissionController::new(24, BackpressurePolicy::PreDrop { threshold: 0.2 }),
+            )
+            .unwrap(),
+        );
+        driver.add_shard(
+            Shard::new(
+                "diurnal",
+                scenario,
+                &Pam,
+                dropper,
+                config(),
+                8,
+                diurnal(),
+                AdmissionController::new(16, BackpressurePolicy::ShedOldest),
+            )
+            .unwrap(),
+        );
+        driver
+    }
+
+    fn results(driver: &ServiceDriver<'_>) -> Vec<TrialResult> {
+        driver.shards().iter().map(|s| s.core().result().expect("idle => drained")).collect()
+    }
+
+    #[test]
+    fn fleet_serves_to_idle_and_conserves_every_shard() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+        let mut driver = fleet(&scenario, &dropper, None);
+        driver.run_until_idle(500, 200).unwrap();
+        assert!(driver.is_idle(), "fleet failed to drain within the epoch budget");
+        for (shard, result) in driver.shards().iter().zip(results(&driver)) {
+            assert!(result.is_conserved(), "{} lost tasks", shard.name());
+            let stats = shard.admission().stats();
+            assert_eq!(stats.offered, stats.admitted + stats.turned_away());
+            assert_eq!(result.total_tasks as u64, stats.admitted);
+        }
+    }
+
+    #[test]
+    fn kill_and_restore_mid_flight_changes_nothing() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+
+        let mut straight = fleet(&scenario, &dropper, Some(1_000));
+        straight.run_until_idle(500, 200).unwrap();
+        assert!(straight.is_idle());
+        let expected = results(&straight);
+        let expected_stats: Vec<_> =
+            straight.shards().iter().map(|s| s.admission().stats()).collect();
+
+        let mut disturbed = fleet(&scenario, &dropper, Some(1_000));
+        for _ in 0..5 {
+            disturbed.advance(500).unwrap();
+        }
+        // Kill both shards at different points; each rewinds to its last
+        // periodic checkpoint and is replayed back to the fleet clock.
+        let revived = disturbed.kill_and_restore(0).unwrap();
+        assert!(revived < disturbed.clock());
+        for _ in 0..3 {
+            disturbed.advance(500).unwrap();
+        }
+        disturbed.kill_and_restore(1).unwrap();
+        disturbed.run_until_idle(500, 200).unwrap();
+        assert!(disturbed.is_idle());
+
+        assert_eq!(results(&disturbed), expected, "kill/restore diverged from straight run");
+        let stats: Vec<_> = disturbed.shards().iter().map(|s| s.admission().stats()).collect();
+        assert_eq!(stats, expected_stats);
+    }
+
+    #[test]
+    fn shard_checkpoint_survives_serde_and_revives_elsewhere() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+        let mut driver = fleet(&scenario, &dropper, None);
+        for _ in 0..4 {
+            driver.advance(400).unwrap();
+        }
+        driver.checkpoint_all();
+        let json = serde_json::to_string(driver.shards()[0].last_checkpoint().unwrap()).unwrap();
+
+        // Finish the original fleet.
+        driver.run_until_idle(400, 200).unwrap();
+        let expected = results(&driver)[0].clone();
+
+        // Revive shard 0 from the serialized checkpoint in a *fresh* shard
+        // and drive it alone to completion.
+        let cp: crate::ShardCheckpoint = serde_json::from_str(&json).unwrap();
+        let mut revived = Shard::new(
+            "revived",
+            &scenario,
+            &Pam,
+            &dropper,
+            config(),
+            7,
+            bursty(),
+            AdmissionController::new(24, BackpressurePolicy::PreDrop { threshold: 0.2 }),
+        )
+        .unwrap();
+        revived.restore_from(&cp).unwrap();
+        let mut until = cp.taken_at;
+        while !revived.is_idle() {
+            until += 400;
+            revived.advance_to(until).unwrap();
+        }
+        assert_eq!(revived.core().result().unwrap(), expected);
+    }
+
+    #[test]
+    fn kill_without_checkpoint_is_a_typed_error() {
+        let scenario = Scenario::specint(3);
+        let mut driver = fleet(&scenario, &ReactiveOnly, None);
+        driver.advance(300).unwrap();
+        assert!(matches!(driver.kill_and_restore(0), Err(ServeError::NoCheckpoint { .. })));
+        assert!(matches!(
+            driver.kill_and_restore(9),
+            Err(ServeError::UnknownShard { index: 9, shards: 2 })
+        ));
+    }
+}

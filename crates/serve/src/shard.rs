@@ -1,0 +1,215 @@
+//! One serving shard: a traffic source feeding an admission controller
+//! feeding a [`SimCore`], with wholesale checkpoint/restore.
+
+use crate::admission::{AdmissionController, BackpressurePolicy, QueueTails};
+use serde::{Deserialize, Serialize};
+use taskdrop_core::DropPolicy;
+use taskdrop_pmf::Tick;
+use taskdrop_sched::MappingHeuristic;
+use taskdrop_sim::{Checkpoint, SimConfig, SimCore, SimError, SimObserver, StepOutcome};
+use taskdrop_workload::{Scenario, TrafficSource};
+
+/// Everything needed to rebuild a shard mid-flight: the core's
+/// [`Checkpoint`] plus the serving-side state the core knows nothing about
+/// — the traffic source's cursor and the admission controller (queued
+/// offers and counters). Serde-serializable as a whole, so a shard can be
+/// persisted, shipped, and revived elsewhere against the same scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// Driver clock at which the checkpoint was taken.
+    pub taken_at: Tick,
+    /// The engine state.
+    pub core: Checkpoint,
+    /// The traffic source, frozen at its stream position.
+    pub source: TrafficSource,
+    /// The admission controller (policy, queued offers, accounting).
+    pub admission: AdmissionController,
+}
+
+/// One independent tenant/cluster in a [`ServiceDriver`]: an open-world
+/// [`SimCore`] plus its ingress pipeline.
+///
+/// The shard borrows its scenario and policies (the same borrows a bare
+/// `SimCore` takes); everything it *owns* is serializable state, which is
+/// what makes [`Shard::take_checkpoint`] / [`Shard::restore_last`] total.
+///
+/// [`ServiceDriver`]: crate::ServiceDriver
+pub struct Shard<'a> {
+    name: String,
+    scenario: &'a Scenario,
+    mapper: &'a dyn MappingHeuristic,
+    dropper: &'a dyn DropPolicy,
+    core: SimCore<'a>,
+    source: TrafficSource,
+    admission: AdmissionController,
+    last_checkpoint: Option<ShardCheckpoint>,
+}
+
+impl<'a> Shard<'a> {
+    /// Assembles a shard around a fresh open-world core.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration error from [`SimCore::open`].
+    #[allow(clippy::too_many_arguments)] // one borrow per collaborating piece
+    pub fn new(
+        name: impl Into<String>,
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        config: SimConfig,
+        exec_seed: u64,
+        source: TrafficSource,
+        admission: AdmissionController,
+    ) -> Result<Self, SimError> {
+        let core = SimCore::open(scenario, mapper, dropper, config, exec_seed)?;
+        Ok(Shard {
+            name: name.into(),
+            scenario,
+            mapper,
+            dropper,
+            core,
+            source,
+            admission,
+            last_checkpoint: None,
+        })
+    }
+
+    /// The shard's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying core (read-only).
+    #[must_use]
+    pub fn core(&self) -> &SimCore<'a> {
+        &self.core
+    }
+
+    /// The admission controller (read-only; offers flow in via
+    /// [`Shard::advance_to`]).
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The traffic source (read-only).
+    #[must_use]
+    pub fn source(&self) -> &TrafficSource {
+        &self.source
+    }
+
+    /// The most recent checkpoint, if one was taken.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&ShardCheckpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Attaches a streaming observer to the core. Observers are **not**
+    /// part of checkpoints — re-attach after a restore.
+    pub fn attach(&mut self, observer: impl SimObserver + 'a) {
+        self.core.attach(observer);
+    }
+
+    /// Advances the shard's slice of virtual time to `until`: offers every
+    /// source arrival due by then to the admission controller, injects the
+    /// admitted ones, and runs the core. Admission decisions for the whole
+    /// epoch are made against the queue state at its start — the
+    /// granularity a real front-end batches at — so under a pre-drop
+    /// policy the machine queue tails are captured once per epoch and
+    /// shared across the offer batch (identical decisions, far fewer chain
+    /// convolutions).
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`AdmissionController::drain_due`].
+    pub fn advance_to(&mut self, until: Tick) -> Result<StepOutcome, SimError> {
+        let mut tails: Option<QueueTails> = None;
+        while let Some(next) = self.source.peek() {
+            if next.arrival > until {
+                break;
+            }
+            let task = self.source.pop().expect("peeked offer");
+            if tails.is_none()
+                && matches!(self.admission.policy(), BackpressurePolicy::PreDrop { .. })
+            {
+                tails = Some(QueueTails::capture(&self.core));
+            }
+            match &tails {
+                Some(t) => self.admission.offer_with(task, &mut self.core, t),
+                None => self.admission.offer(task, &mut self.core),
+            };
+        }
+        self.admission.drain_due(&mut self.core, until)?;
+        Ok(self.core.run_until(until))
+    }
+
+    /// Snapshots the complete shard state (core + source + admission) and
+    /// remembers it as the restore point.
+    pub fn take_checkpoint(&mut self, taken_at: Tick) -> &ShardCheckpoint {
+        let cp = ShardCheckpoint {
+            taken_at,
+            core: self.core.snapshot(),
+            source: self.source.clone(),
+            admission: self.admission.clone(),
+        };
+        self.last_checkpoint = Some(cp);
+        self.last_checkpoint.as_ref().expect("just stored")
+    }
+
+    /// Discards the live state and rebuilds the shard from `checkpoint`
+    /// (scenario and policies are the shard's own borrows — the checkpoint
+    /// must match them). Attached observers are dropped, and `checkpoint`
+    /// becomes the shard's restore point: the previous `last_checkpoint`
+    /// belonged to the timeline just discarded, so a later
+    /// [`Shard::restore_last`] must not revive it.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error from [`SimCore::restore`]; on error the live
+    /// state and restore point are unchanged.
+    pub fn restore_from(&mut self, checkpoint: &ShardCheckpoint) -> Result<(), SimError> {
+        self.core = SimCore::restore(self.scenario, self.mapper, self.dropper, &checkpoint.core)?;
+        self.source = checkpoint.source.clone();
+        self.admission = checkpoint.admission.clone();
+        self.last_checkpoint = Some(checkpoint.clone());
+        Ok(())
+    }
+
+    /// Kills the live state and rewinds to the last
+    /// [`Shard::take_checkpoint`], returning the tick it was taken at.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServeError::NoCheckpoint`] if none was ever taken; any
+    /// [`SimError`] from [`Shard::restore_from`].
+    pub fn restore_last(&mut self) -> Result<Tick, crate::ServeError> {
+        let cp = self
+            .last_checkpoint
+            .clone()
+            .ok_or_else(|| crate::ServeError::NoCheckpoint { shard: self.name.clone() })?;
+        self.restore_from(&cp)?;
+        Ok(cp.taken_at)
+    }
+
+    /// Whether the shard has nothing left to do: the source is exhausted,
+    /// the ingress queue is empty, and every admitted task has a fate.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.source.is_exhausted() && self.admission.queued() == 0 && self.core.is_drained()
+    }
+}
+
+impl std::fmt::Debug for Shard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("name", &self.name)
+            .field("scenario", &self.scenario.name)
+            .field("now", &self.core.now())
+            .field("total_tasks", &self.core.total_tasks())
+            .field("resolved_tasks", &self.core.resolved_tasks())
+            .field("ingress_queued", &self.admission.queued())
+            .finish_non_exhaustive()
+    }
+}

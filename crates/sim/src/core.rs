@@ -26,6 +26,10 @@
 //! loop would first process the earliest failure-timeline event if failure
 //! injection was configured.
 
+use crate::checkpoint::{
+    Checkpoint, EventEntry, MachineCheckpoint, QueuedCheckpoint, RunningCheckpoint,
+    CHECKPOINT_VERSION,
+};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
@@ -37,7 +41,7 @@ use taskdrop_model::queue as qchain;
 use taskdrop_model::view::{
     DropContext, MachineView, MappingInput, PendingView, QueueView, RunningView, UnmappedView,
 };
-use taskdrop_model::{Machine, PetMatrix, Task, TaskId, TaskTypeId};
+use taskdrop_model::{Machine, MachineId, PetMatrix, Task, TaskId, TaskTypeId};
 use taskdrop_pmf::{Pmf, Tick};
 use taskdrop_sched::MappingHeuristic;
 use taskdrop_stats::{derive_seed, new_rng};
@@ -545,8 +549,60 @@ impl<'a> SimCore<'a> {
 
     /// The engine configuration this core runs under.
     #[must_use]
-    pub fn config(&self) -> SimConfig {
-        self.config
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The scenario this core runs on (machines, PET matrix, truth model).
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        self.scenario
+    }
+
+    /// The policy-facing completion-time estimate of `machine`'s queue tail
+    /// — where a task appended *right now* would wait before starting. Built
+    /// from the learned PET the same way the mapping phase builds its tails
+    /// (the engine's realised finish times are not leaked), so serving-layer
+    /// admission controllers can reuse the paper's completion-PMF threshold
+    /// without reimplementing the chain. Note the mapping phase never
+    /// consults a *down* machine's tail (it exposes no free slots); callers
+    /// pricing placement should skip machines for which
+    /// [`SimCore::machine_is_down`] is true. `None` for an unknown machine
+    /// id.
+    #[must_use]
+    pub fn queue_tail_estimate(&self, machine: MachineId) -> Option<Pmf> {
+        let m = self.machines.get(machine.index())?;
+        Some(queue_tail(&self.scenario.pet, self.approx_pet.as_ref(), self.now, m, self.config))
+    }
+
+    /// Whether `machine` is currently down (failure injection): a down
+    /// machine cannot start tasks and the mapper gives it no new work.
+    /// `None` for an unknown machine id.
+    #[must_use]
+    pub fn machine_is_down(&self, machine: MachineId) -> Option<bool> {
+        self.machines.get(machine.index()).map(|m| m.down)
+    }
+
+    /// Forwards an externally produced lifecycle event to this core's
+    /// observers, so one observer chain sees the complete task lifecycle
+    /// from ingress to fate. The only admissible event is
+    /// [`SimEvent::AdmissionDropped`] — the one lifecycle stage that
+    /// happens *outside* the core; every other variant describes an engine
+    /// decision, and a forged one (terminal or not) would corrupt
+    /// stream-reconstructed accounting such as [`MetricsObserver`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ev` is any variant other than
+    /// [`SimEvent::AdmissionDropped`].
+    ///
+    /// [`MetricsObserver`]: crate::MetricsObserver
+    pub fn notify_observers(&mut self, ev: &SimEvent) {
+        assert!(
+            matches!(ev, SimEvent::AdmissionDropped { .. }),
+            "only AdmissionDropped may be forwarded from outside the engine: {ev:?}"
+        );
+        emit(&mut self.observers, *ev);
     }
 
     /// A read-only snapshot of the batch queue and every machine queue.
@@ -580,6 +636,133 @@ impl<'a> SimCore<'a> {
                 })
                 .collect(),
         }
+    }
+
+    /// Serializes the complete mutable trial state into a [`Checkpoint`].
+    ///
+    /// Side-effect free: the core is untouched and can keep stepping.
+    /// Together with [`SimCore::restore`], resuming from the snapshot is
+    /// byte-identical to an uninterrupted run (see the
+    /// [`checkpoint`](crate::checkpoint) module docs for why no RNG state
+    /// needs capturing). Observers are *not* part of a checkpoint — attach
+    /// them afresh after restoring.
+    #[must_use]
+    pub fn snapshot(&self) -> Checkpoint {
+        let (entries, event_seq) = self.events.snapshot();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            scenario_name: self.scenario.name.clone(),
+            scenario_seed: self.scenario.seed,
+            config: self.config,
+            exec_seed: self.exec_seed,
+            now: self.now,
+            mapping_events: self.mapping_events,
+            tasks: self.tasks.clone(),
+            fates: self.fates.fates.clone(),
+            batch: self.batch.clone(),
+            machines: self
+                .machines
+                .iter()
+                .map(|m| MachineCheckpoint {
+                    down: m.down,
+                    busy_ticks: m.busy_ticks,
+                    epoch: m.epoch,
+                    running: m.running.as_ref().map(|r| RunningCheckpoint {
+                        task: r.task,
+                        start: r.start,
+                        finish: r.finish,
+                        degraded: r.degraded,
+                    }),
+                    pending: m
+                        .pending
+                        .iter()
+                        .map(|qt| QueuedCheckpoint { task: qt.task, degraded: qt.degraded })
+                        .collect(),
+                })
+                .collect(),
+            events: entries
+                .into_iter()
+                .map(|(time, seq, event)| EventEntry { time, seq, event })
+                .collect(),
+            event_seq,
+        }
+    }
+
+    /// Rebuilds a core from a [`Checkpoint`], picking the trial up exactly
+    /// where [`SimCore::snapshot`] left it. The caller re-supplies the
+    /// deterministic context a checkpoint only *names*: the scenario
+    /// (validated against the recorded name and seed) and the two stateless
+    /// policies. Passing a different mapper or dropper than the original
+    /// run's is permitted — the state is policy-agnostic — but then the
+    /// continuation is a what-if fork, not a byte-identical resume.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CheckpointVersion`] for an unknown format version;
+    /// [`SimError::CheckpointMismatch`] if the checkpoint fails structural
+    /// validation — scenario identity, dense task ids, fate-table sizing,
+    /// queue occupancy, task-table membership of every queued entry,
+    /// event-heap consistency (sequence counter, payload bounds, no event
+    /// before the clock, in-flight executions matched by current-epoch
+    /// completion events), and single-placement of every unresolved task;
+    /// plus any config validation error.
+    pub fn restore(
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, SimError> {
+        validate_checkpoint(scenario, checkpoint)?;
+
+        let machines: Vec<MachineSt> = scenario
+            .machines
+            .iter()
+            .zip(&checkpoint.machines)
+            .map(|(&machine, mc)| MachineSt {
+                machine,
+                running: mc.running.map(|r| RunningTask {
+                    task: r.task,
+                    start: r.start,
+                    finish: r.finish,
+                    degraded: r.degraded,
+                }),
+                pending: mc
+                    .pending
+                    .iter()
+                    .map(|qc| QueuedTask { task: qc.task, degraded: qc.degraded })
+                    .collect(),
+                busy_ticks: mc.busy_ticks,
+                epoch: mc.epoch,
+                down: mc.down,
+            })
+            .collect();
+        let events = EventQueue::from_snapshot(
+            checkpoint.events.iter().map(|e| (e.time, e.seq, e.event)).collect(),
+            checkpoint.event_seq,
+        );
+        let approx_pet = checkpoint
+            .config
+            .approx
+            .map(|spec| taskdrop_model::approx::degraded_pet(&scenario.pet, spec));
+        Ok(SimCore {
+            scenario,
+            mapper,
+            dropper,
+            config: checkpoint.config,
+            exec_seed: checkpoint.exec_seed,
+            approx_pet,
+            tasks: checkpoint.tasks.clone(),
+            machines,
+            batch: checkpoint.batch.clone(),
+            events,
+            fates: FateBook {
+                resolved: checkpoint.resolved_tasks(),
+                fates: checkpoint.fates.clone(),
+            },
+            now: checkpoint.now,
+            mapping_events: checkpoint.mapping_events,
+            observers: Vec::new(),
+        })
     }
 
     fn handle(&mut self, ev: Event) {
@@ -867,6 +1050,233 @@ impl<'a> SimCore<'a> {
     }
 }
 
+/// Structural validation of a [`Checkpoint`] against the scenario it is
+/// being restored onto — the "fail loudly instead of corrupting a trial"
+/// half of the checkpoint contract. Checks, in order:
+///
+/// * format version and config validity;
+/// * scenario identity (name + seed) and machine count;
+/// * dense task ids, in-range task types, fate-table sizing;
+/// * every queued/batched/running task is recorded in the task table
+///   *verbatim* (fate accounting and stale-event handling index by id);
+/// * machine-queue occupancy within the configured capacity;
+/// * event-heap consistency: sequence counter covers every entry, event
+///   payloads reference real tasks/machines, and no event is scheduled
+///   before the checkpoint clock (the engine never leaves one behind, and
+///   replaying it would rewind time);
+/// * placement: each unresolved task sits in exactly one of batch /
+///   pending / running / an unprocessed `Arrival` event; resolved tasks
+///   sit in none (a double-placed task would be resolved twice, a
+///   dangling one would strand the drain loop);
+/// * in-flight executions line up with the heap: a running task has
+///   exactly one current-epoch `Completion` at its recorded finish (and
+///   at most one `DeadlineKill`, at its deadline) and started at or
+///   before the clock; no `Completion`/`DeadlineKill` carries an epoch
+///   the machine has not reached yet.
+///
+/// # Errors
+///
+/// [`SimError::CheckpointVersion`], [`SimError::CheckpointMismatch`]
+/// (whose `field` names the failed invariant),
+/// [`SimError::MisnumberedWorkload`], [`SimError::UnknownTaskType`], or a
+/// config validation error.
+#[allow(clippy::too_many_lines)] // a flat checklist; splitting would obscure it
+fn validate_checkpoint(scenario: &Scenario, checkpoint: &Checkpoint) -> Result<(), SimError> {
+    let mismatch = |field: &'static str, expected: String, found: String| {
+        Err(SimError::CheckpointMismatch { field, expected, found })
+    };
+    if checkpoint.version != CHECKPOINT_VERSION {
+        return Err(SimError::CheckpointVersion {
+            found: checkpoint.version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    checkpoint.config.validate()?;
+    if checkpoint.scenario_name != scenario.name || checkpoint.scenario_seed != scenario.seed {
+        return mismatch(
+            "scenario",
+            format!("{} (seed {})", scenario.name, scenario.seed),
+            format!("{} (seed {})", checkpoint.scenario_name, checkpoint.scenario_seed),
+        );
+    }
+    if checkpoint.machines.len() != scenario.machine_count() {
+        return mismatch(
+            "machines",
+            scenario.machine_count().to_string(),
+            checkpoint.machines.len().to_string(),
+        );
+    }
+    if checkpoint.fates.len() != checkpoint.tasks.len() {
+        return mismatch(
+            "fates",
+            format!("{} entries", checkpoint.tasks.len()),
+            format!("{} entries", checkpoint.fates.len()),
+        );
+    }
+    for (index, task) in checkpoint.tasks.iter().enumerate() {
+        if task.id.index() != index {
+            return Err(SimError::MisnumberedWorkload { index, id: task.id.0 });
+        }
+        if task.type_id.index() >= scenario.task_type_count() {
+            return Err(SimError::UnknownTaskType {
+                type_id: task.type_id.0,
+                task_types: scenario.task_type_count(),
+            });
+        }
+    }
+    let known_task = |task: &Task| {
+        checkpoint.tasks.get(task.id.index()).is_some_and(|recorded| recorded == task)
+    };
+    let unknown = |field: &'static str, task: &Task| {
+        mismatch(
+            field,
+            "a task recorded in the checkpoint's task table".to_string(),
+            format!("{task:?}"),
+        )
+    };
+    for task in &checkpoint.batch {
+        if !known_task(task) {
+            return unknown("batch", task);
+        }
+    }
+    for (idx, mc) in checkpoint.machines.iter().enumerate() {
+        let occupancy = usize::from(mc.running.is_some()) + mc.pending.len();
+        if occupancy > checkpoint.config.queue_size {
+            return mismatch(
+                "queue occupancy",
+                format!("<= {} on m{idx}", checkpoint.config.queue_size),
+                occupancy.to_string(),
+            );
+        }
+        if let Some(r) = &mc.running {
+            if !known_task(&r.task) {
+                return unknown("running", &r.task);
+            }
+            if r.start > checkpoint.now {
+                return mismatch(
+                    "running",
+                    format!("execution started at or before the clock ({})", checkpoint.now),
+                    format!("start {}", r.start),
+                );
+            }
+        }
+        for qc in &mc.pending {
+            if !known_task(&qc.task) {
+                return unknown("pending", &qc.task);
+            }
+        }
+    }
+    if let Some(max_seq) = checkpoint.events.iter().map(|e| e.seq).max() {
+        if max_seq > checkpoint.event_seq {
+            return mismatch(
+                "event_seq",
+                format!(">= {max_seq}"),
+                checkpoint.event_seq.to_string(),
+            );
+        }
+    }
+    // Per-machine tallies of events carrying the machine's *current* epoch;
+    // anything stale (older epoch) is legitimately ignored by the engine,
+    // anything from a not-yet-reached epoch would fire falsely later.
+    let mut completions = vec![0usize; checkpoint.machines.len()];
+    let mut kills = vec![0usize; checkpoint.machines.len()];
+    for entry in &checkpoint.events {
+        if entry.time < checkpoint.now {
+            return mismatch(
+                "events",
+                format!("scheduled at or after the checkpoint clock ({})", checkpoint.now),
+                format!("{:?} at {}", entry.event, entry.time),
+            );
+        }
+        let bad_event = || {
+            mismatch(
+                "events",
+                "a payload consistent with the checkpoint state".to_string(),
+                format!("{:?}", entry.event),
+            )
+        };
+        match entry.event {
+            Event::Arrival(i) => {
+                if i >= checkpoint.tasks.len() {
+                    return bad_event();
+                }
+            }
+            Event::Completion(m, ep) | Event::DeadlineKill(m, ep) => {
+                let Some(mc) = checkpoint.machines.get(m.index()) else {
+                    return bad_event();
+                };
+                if ep > mc.epoch {
+                    return bad_event();
+                }
+                if ep == mc.epoch {
+                    let Some(r) = &mc.running else { return bad_event() };
+                    let is_completion = matches!(entry.event, Event::Completion(..));
+                    let expected_time = if is_completion { r.finish } else { r.task.deadline };
+                    if entry.time != expected_time {
+                        return bad_event();
+                    }
+                    if is_completion {
+                        completions[m.index()] += 1;
+                    } else {
+                        kills[m.index()] += 1;
+                    }
+                }
+            }
+            Event::MachineFailure(m) | Event::MachineRepair(m) => {
+                if m.index() >= scenario.machine_count() {
+                    return bad_event();
+                }
+            }
+        }
+    }
+    for (idx, mc) in checkpoint.machines.iter().enumerate() {
+        let expected = usize::from(mc.running.is_some());
+        if completions[idx] != expected || kills[idx] > expected {
+            return mismatch(
+                "running",
+                format!(
+                    "m{idx} with {expected} current-epoch completion event(s) (and at most that many kills)"
+                ),
+                format!("{} completion(s), {} kill(s)", completions[idx], kills[idx]),
+            );
+        }
+    }
+    // Placement consistency: an unresolved task sits in exactly one place
+    // (batch, a pending slot, running, or an unprocessed Arrival event); a
+    // resolved one sits in none.
+    let mut placements = vec![0u32; checkpoint.tasks.len()];
+    for task in &checkpoint.batch {
+        placements[task.id.index()] += 1;
+    }
+    for mc in &checkpoint.machines {
+        if let Some(r) = &mc.running {
+            placements[r.task.id.index()] += 1;
+        }
+        for qc in &mc.pending {
+            placements[qc.task.id.index()] += 1;
+        }
+    }
+    for entry in &checkpoint.events {
+        if let Event::Arrival(i) = entry.event {
+            placements[i] += 1; // index validated above
+        }
+    }
+    for (index, &count) in placements.iter().enumerate() {
+        let expected = u32::from(checkpoint.fates[index].is_none());
+        if count != expected {
+            return mismatch(
+                "placement",
+                format!(
+                    "task{index} ({}) in {expected} queue/event slot(s)",
+                    if expected == 1 { "unresolved" } else { "resolved" },
+                ),
+                format!("{count} slot(s)"),
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Notifies every observer of one event.
 fn emit(observers: &mut [Box<dyn SimObserver + '_>], ev: SimEvent) {
     for obs in observers.iter_mut() {
@@ -1144,6 +1554,145 @@ mod tests {
             core.inject(TaskTypeId(0), now.saturating_sub(1), now + 500).err(),
             Some(SimError::InjectedInPast { now, arrival: now - 1 })
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        let s = scenario();
+        let w = workload(&s, 150, 1_800);
+        let dropper = ProactiveDropper::paper_default();
+        let mut reference = SimCore::new(&s, &w, &Pam, &dropper, cfg(), 9).unwrap();
+        let expected = reference.run_to_completion();
+
+        let mut interrupted = SimCore::new(&s, &w, &Pam, &dropper, cfg(), 9).unwrap();
+        for _ in 0..40 {
+            interrupted.step();
+        }
+        let cp = interrupted.snapshot();
+        // Snapshotting is side-effect free: the interrupted core finishes
+        // identically, and so does a core restored from the checkpoint.
+        assert_eq!(interrupted.run_to_completion(), expected);
+        let mut restored = SimCore::restore(&s, &Pam, &dropper, &cp).unwrap();
+        assert_eq!(restored.now(), cp.now);
+        assert_eq!(restored.run_to_completion(), expected);
+    }
+
+    #[test]
+    fn restore_validates_version_and_context() {
+        let s = scenario();
+        let w = workload(&s, 20, 600);
+        let core = SimCore::new(&s, &w, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        let cp = core.snapshot();
+
+        let mut wrong_version = cp.clone();
+        wrong_version.version = 99;
+        assert_eq!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &wrong_version).err(),
+            Some(SimError::CheckpointVersion { found: 99, supported: CHECKPOINT_VERSION })
+        );
+
+        let other = Scenario::specint(s.seed + 1);
+        assert!(matches!(
+            SimCore::restore(&other, &Pam, &ReactiveOnly, &cp).err(),
+            Some(SimError::CheckpointMismatch { field: "scenario", .. })
+        ));
+
+        let mut missized = cp.clone();
+        missized.fates.push(None);
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &missized).err(),
+            Some(SimError::CheckpointMismatch { field: "fates", .. })
+        ));
+
+        let mut bad_seq = cp.clone();
+        bad_seq.event_seq = 0;
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &bad_seq).err(),
+            Some(SimError::CheckpointMismatch { field: "event_seq", .. })
+        ));
+
+        // Queue/batch/event entries must reference recorded tasks and real
+        // machines — a corrupted checkpoint fails restore, not step().
+        let alien = Task::new(TaskId(77), TaskTypeId(0), 1, 100);
+        let mut bad_batch = cp.clone();
+        bad_batch.batch.push(alien);
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &bad_batch).err(),
+            Some(SimError::CheckpointMismatch { field: "batch", .. })
+        ));
+
+        let mut bad_pending = cp.clone();
+        bad_pending.machines[0]
+            .pending
+            .push(crate::checkpoint::QueuedCheckpoint { task: alien, degraded: false });
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &bad_pending).err(),
+            Some(SimError::CheckpointMismatch { field: "pending", .. })
+        ));
+
+        // A recorded task whose fields drifted from the task table is just
+        // as alien as an out-of-range id.
+        let mut drifted = cp.clone();
+        let mut twisted = drifted.tasks[3];
+        twisted.deadline += 1;
+        drifted.batch.push(twisted);
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &drifted).err(),
+            Some(SimError::CheckpointMismatch { field: "batch", .. })
+        ));
+
+        let mut bad_event = cp.clone();
+        bad_event.events.push(crate::checkpoint::EventEntry {
+            time: 1,
+            seq: bad_event.event_seq,
+            event: Event::Arrival(999),
+        });
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &bad_event).err(),
+            Some(SimError::CheckpointMismatch { field: "events", .. })
+        ));
+
+        let mut bad_machine_event = cp.clone();
+        bad_machine_event.events.push(crate::checkpoint::EventEntry {
+            time: 1,
+            seq: bad_machine_event.event_seq,
+            event: Event::MachineRepair(taskdrop_model::MachineId(200)),
+        });
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &bad_machine_event).err(),
+            Some(SimError::CheckpointMismatch { field: "events", .. })
+        ));
+
+        // A recorded task placed twice (here: batch + its own pending
+        // arrival event) would be resolved twice; restore refuses it.
+        let mut double_placed = cp.clone();
+        let first = double_placed.tasks[0];
+        double_placed.batch.push(first);
+        assert!(matches!(
+            SimCore::restore(&s, &Pam, &ReactiveOnly, &double_placed).err(),
+            Some(SimError::CheckpointMismatch { field: "placement", .. })
+        ));
+    }
+
+    #[test]
+    fn notify_observers_forwards_but_rejects_terminal_events() {
+        let s = scenario();
+        let seen = std::cell::Cell::new(0usize);
+        let mut core = SimCore::open(&s, &Pam, &ReactiveOnly, cfg(), 1).unwrap();
+        core.attach(|_: &SimEvent| seen.set(seen.get() + 1));
+        core.notify_observers(&SimEvent::AdmissionDropped {
+            type_id: TaskTypeId(0),
+            arrival: 5,
+            deadline: 50,
+            now: 5,
+            kind: crate::observer::AdmissionDropKind::RejectedFull,
+        });
+        assert_eq!(seen.get(), 1);
+        let terminal = SimEvent::Dropped { task: TaskId(0), now: 5, kind: DropKind::Reactive };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.notify_observers(&terminal)
+        }));
+        assert!(panicked.is_err(), "terminal events must be refused");
     }
 
     #[test]

@@ -70,6 +70,25 @@ pub enum SimError {
         /// Total tasks admitted so far.
         total: usize,
     },
+    /// A [`crate::Checkpoint`] was written by an incompatible format
+    /// version.
+    CheckpointVersion {
+        /// Version recorded in the checkpoint.
+        found: u32,
+        /// Version this build understands
+        /// ([`crate::CHECKPOINT_VERSION`]).
+        supported: u32,
+    },
+    /// A [`crate::Checkpoint`] failed structural validation against the
+    /// scenario and config it was asked to restore onto.
+    CheckpointMismatch {
+        /// Which invariant failed (e.g. `"scenario"`, `"machines"`).
+        field: &'static str,
+        /// What the restore context requires.
+        expected: String,
+        /// What the checkpoint holds.
+        found: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -96,6 +115,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::NotDrained { resolved, total } => {
                 write!(f, "trial not drained: {resolved}/{total} tasks resolved")
+            }
+            SimError::CheckpointVersion { found, supported } => {
+                write!(f, "checkpoint format v{found} unsupported (this build reads v{supported})")
+            }
+            SimError::CheckpointMismatch { field, ref expected, ref found } => {
+                write!(f, "checkpoint {field} mismatch: expected {expected}, found {found}")
             }
         }
     }

@@ -1,5 +1,6 @@
 //! The discrete-event queue.
 
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use taskdrop_model::MachineId;
@@ -10,7 +11,13 @@ use taskdrop_pmf::Tick;
 /// `Completion` and `DeadlineKill` carry the machine's *epoch* — a counter
 /// incremented every time a new task starts — so events belonging to an
 /// already-finished or killed task are recognised as stale and ignored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable because pending events are part of a
+/// [`Checkpoint`](crate::Checkpoint): failure timelines are pre-generated at
+/// construction and in-flight executions carry their realised finish times,
+/// so the outstanding event set cannot be recomputed from the rest of the
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
     /// Task `workload_index` arrives.
     Arrival(usize),
@@ -105,6 +112,26 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Snapshot for checkpointing: every outstanding `(time, seq, event)`
+    /// entry in pop order, plus the live sequence counter. Sorting makes the
+    /// snapshot canonical — two queues with identical pending events and
+    /// counters produce identical snapshots even if their heap arrays are
+    /// arranged differently.
+    pub fn snapshot(&self) -> (Vec<(Tick, u64, Event)>, u64) {
+        let mut entries: Vec<(Tick, u64, EventKey)> =
+            self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        (entries.into_iter().map(|(t, s, k)| (t, s, k.into())).collect(), self.seq)
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot`]. Pop order — and
+    /// every future FIFO tie-break, because the sequence counter resumes
+    /// where it left off — is identical to the queue that was snapshotted.
+    pub fn from_snapshot(entries: Vec<(Tick, u64, Event)>, seq: u64) -> Self {
+        let heap = entries.into_iter().map(|(t, s, e)| Reverse((t, s, e.into()))).collect();
+        EventQueue { heap, seq }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +160,30 @@ mod tests {
         assert_eq!(q.pop(), Some((5, Event::Arrival(7))));
         assert_eq!(q.pop(), Some((5, Event::DeadlineKill(MachineId(0), 1))));
         assert_eq!(q.pop(), Some((5, Event::Arrival(8))));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_pop_order_and_ties() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Arrival(7));
+        q.push(2, Event::Completion(MachineId(1), 9));
+        q.push(5, Event::DeadlineKill(MachineId(0), 1));
+        let (entries, seq) = q.snapshot();
+        assert_eq!(seq, 3);
+        assert_eq!(entries.len(), 3);
+        // Canonical order: sorted by (time, seq).
+        assert_eq!(entries[0].0, 2);
+        let mut restored = EventQueue::from_snapshot(entries, seq);
+        // A post-restore push ties at t=5 and must lose to both originals.
+        restored.push(5, Event::Arrival(8));
+        q.push(5, Event::Arrival(8));
+        loop {
+            let (a, b) = (q.pop(), restored.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

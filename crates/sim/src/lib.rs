@@ -28,9 +28,12 @@
 //!   state machine with [`step`](SimCore::step) /
 //!   [`run_until`](SimCore::run_until) /
 //!   [`inject`](SimCore::inject) (online, open-world task arrival) /
-//!   [`state`](SimCore::state) (read-only mid-trial inspection), plus
-//!   streaming [`SimObserver`]s that receive a [`SimEvent`] for every
-//!   map/start/complete/drop/degrade/kill/failure/repair decision.
+//!   [`state`](SimCore::state) (read-only mid-trial inspection) /
+//!   [`snapshot`](SimCore::snapshot) + [`restore`](SimCore::restore)
+//!   (serializable [`Checkpoint`]s from which resuming is byte-identical to
+//!   an uninterrupted run), plus streaming [`SimObserver`]s that receive a
+//!   [`SimEvent`] for every map/start/complete/drop/degrade/kill/failure/
+//!   repair decision.
 //! * [`Simulation`] is the legacy closed-world wrapper: assemble, call
 //!   [`run`](Simulation::run), get a [`TrialResult`]. Byte-identical to
 //!   stepping a [`SimCore`] over the same inputs.
@@ -45,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod core;
 mod engine;
@@ -55,11 +59,16 @@ mod observer;
 mod report;
 mod runner;
 
+pub use checkpoint::{
+    Checkpoint, EventEntry, MachineCheckpoint, QueuedCheckpoint, RunningCheckpoint,
+    CHECKPOINT_VERSION,
+};
 pub use config::{DropperKind, FailureSpec, SimConfig};
 pub use core::{MachineState, QueuedState, RunningState, SimCore, SimState, StepOutcome};
 pub use engine::Simulation;
 pub use error::SimError;
+pub use event::Event;
 pub use metrics::{TaskFate, TrialResult};
-pub use observer::{DropKind, EventLog, MetricsObserver, SimEvent, SimObserver};
+pub use observer::{AdmissionDropKind, DropKind, EventLog, MetricsObserver, SimEvent, SimObserver};
 pub use report::SimReport;
 pub use runner::{RunSpec, TrialRunner};

@@ -15,7 +15,7 @@
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{TaskFate, TrialResult};
-use taskdrop_model::{MachineId, Task, TaskId};
+use taskdrop_model::{MachineId, Task, TaskId, TaskTypeId};
 use taskdrop_pmf::Tick;
 use taskdrop_workload::Scenario;
 
@@ -29,6 +29,27 @@ pub enum DropKind {
     /// The configured dropping policy sacrificed the task to raise the
     /// queue's instantaneous robustness.
     Proactive,
+}
+
+/// Which backpressure rule turned an offered task away at admission (the
+/// serving layer in front of [`SimCore`](crate::SimCore); see
+/// [`SimEvent::AdmissionDropped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDropKind {
+    /// The bounded ingress queue was full and the policy rejects new work.
+    RejectedFull,
+    /// The oldest queued entry was evicted to make room for a newer one.
+    ShedOldest,
+    /// The probabilistic pre-drop refused the task: its estimated chance of
+    /// success (completion-PMF mass before the deadline, the paper's Eq 2)
+    /// fell below the configured threshold.
+    PreDropped,
+    /// The task's deadline passed while it waited in the ingress queue,
+    /// before it could be injected.
+    Expired,
+    /// The offer could not be injected at all (e.g. it named a task type
+    /// the scenario lacks — a misconfigured traffic source).
+    Invalid,
 }
 
 /// One engine state change, streamed to observers as it happens.
@@ -128,6 +149,24 @@ pub enum SimEvent {
     MappingRound {
         /// Time of the mapping event.
         now: Tick,
+    },
+    /// A serving-layer admission controller turned an offered task away
+    /// *before* it was admitted to the core (emitted by `taskdrop_serve`
+    /// through [`SimCore::notify_observers`](crate::SimCore::notify_observers),
+    /// never by the core itself). The task was never assigned a [`TaskId`],
+    /// so this is **not** a terminal event and does not enter the fate
+    /// accounting — it is the admission layer's own loss ledger.
+    AdmissionDropped {
+        /// Requested task type.
+        type_id: TaskTypeId,
+        /// Nominal arrival tick of the offered task.
+        arrival: Tick,
+        /// Requested deadline.
+        deadline: Tick,
+        /// Decision time (the serving layer's virtual clock).
+        now: Tick,
+        /// Which backpressure rule fired.
+        kind: AdmissionDropKind,
     },
 }
 

@@ -21,17 +21,25 @@
 //! Poisson arrivals at a chosen [`OversubscriptionLevel`], uniformly random
 //! task types, and deadlines per the paper's formula
 //! `δᵢ = arrᵢ + avgᵢ + γ·avg_all`.
+//!
+//! For the online serving layer, the [`streaming`] module adds open-ended
+//! arrival generators — diurnal sinusoidal, Markov-modulated bursty, and
+//! recorded-trace replay ([`TrafficSource`]) — whose entire state is a few
+//! serializable integer cursors, so a checkpointed stream resumes
+//! byte-identically.
 
 #![warn(missing_docs)]
 
 mod arrival;
 mod scenario;
 mod specint;
+pub mod streaming;
 mod transcode;
 mod workload;
 
 pub use arrival::{OversubscriptionLevel, SPECINT_WINDOW, TRANSCODE_WINDOW};
 pub use scenario::{ExecTruth, Scenario, ScenarioBuilder};
 pub use specint::specint_mean_table;
+pub use streaming::{BurstySource, DiurnalSource, OfferedTask, TraceSource, TrafficSource};
 pub use transcode::transcode_mean_table;
 pub use workload::Workload;

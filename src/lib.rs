@@ -22,17 +22,26 @@
 //!   [`SimCore`](taskdrop_sim::SimCore) stepping API with online task
 //!   injection and streaming observers, metrics, cost model and a parallel
 //!   multi-trial runner.
+//! * [`serve`] — the online serving layer: admission-controlled injection
+//!   with pluggable backpressure, multi-shard driving on a shared virtual
+//!   clock, and serializable shard checkpoints with mid-flight
+//!   kill/restore.
 //! * [`experiment`] — the fluent
 //!   [`ExperimentBuilder`](experiment::ExperimentBuilder) facade: one
 //!   chainable, serialisable entry point for scenario + workload + policies
 //!   + trial plan.
+//! * [`service`] — the serving counterpart: a serialisable
+//!   [`ServicePlan`](service::ServicePlan) naming a whole shard fleet, run
+//!   to an idle [`ServiceReport`](service::ServiceReport) in one call.
 
 pub mod experiment;
+pub mod service;
 
 pub use taskdrop_core as core;
 pub use taskdrop_model as model;
 pub use taskdrop_pmf as pmf;
 pub use taskdrop_sched as sched;
+pub use taskdrop_serve as serve;
 pub use taskdrop_sim as sim;
 pub use taskdrop_stats as stats;
 pub use taskdrop_workload as workload;
@@ -98,6 +107,7 @@ pub mod demo {
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use crate::experiment::{ExperimentBuilder, ExperimentSpec, ScenarioSpec};
+    pub use crate::service::{ServicePlan, ServiceReport, ShardPlan, ShardReport};
     pub use taskdrop_core::{
         ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
         ThresholdDropper,
@@ -109,12 +119,17 @@ pub mod prelude {
     pub use taskdrop_model::{MachineId, MachineTypeId, PetMatrix, Task, TaskId, TaskTypeId};
     pub use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
     pub use taskdrop_sched::{Edf, Fcfs, HeuristicKind, MappingHeuristic, MinMin, Msd, Pam, Sjf};
+    pub use taskdrop_serve::{
+        AdmissionController, AdmissionStats, BackpressurePolicy, ServeError, ServiceDriver, Shard,
+        ShardCheckpoint,
+    };
     pub use taskdrop_sim::{
-        DropKind, DropperKind, EventLog, MetricsObserver, RunSpec, SimConfig, SimCore, SimError,
-        SimEvent, SimObserver, SimReport, SimState, Simulation, StepOutcome, TaskFate, TrialResult,
-        TrialRunner,
+        AdmissionDropKind, Checkpoint, DropKind, DropperKind, EventLog, MetricsObserver, RunSpec,
+        SimConfig, SimCore, SimError, SimEvent, SimObserver, SimReport, SimState, Simulation,
+        StepOutcome, TaskFate, TrialResult, TrialRunner,
     };
     pub use taskdrop_workload::{
-        OversubscriptionLevel, Scenario, Workload, SPECINT_WINDOW, TRANSCODE_WINDOW,
+        BurstySource, DiurnalSource, OfferedTask, OversubscriptionLevel, Scenario, TraceSource,
+        TrafficSource, Workload, SPECINT_WINDOW, TRANSCODE_WINDOW,
     };
 }

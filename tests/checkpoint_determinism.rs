@@ -1,0 +1,161 @@
+//! Checkpoint determinism: resuming a trial from a mid-flight
+//! [`Checkpoint`] — including a full serde_json round-trip — must be
+//! byte-identical to never having stopped.
+//!
+//! This is the contract that makes the serving layer's kill/restore
+//! invisible, so it is pinned from several angles: a property test that
+//! interrupts at a random step under randomly drawn workloads and
+//! policies, a failure-injection case (outstanding failure/repair events
+//! and epoch counters live in the checkpoint), a double-restore case (a
+//! checkpoint is reusable, not consumable), and JSON canonicality
+//! (identical states serialize to identical bytes).
+
+use proptest::prelude::*;
+use taskdrop::prelude::*;
+
+fn quick_config() -> SimConfig {
+    SimConfig { exclude_boundary: 0, ..SimConfig::default() }
+}
+
+/// Runs `steps` steps, snapshots through a JSON round-trip, restores, and
+/// finishes both cores; returns (uninterrupted, resumed) results.
+fn interrupted_vs_straight(
+    scenario: &Scenario,
+    workload: &Workload,
+    dropper: &dyn taskdrop::core::DropPolicy,
+    config: SimConfig,
+    exec_seed: u64,
+    steps: usize,
+) -> (TrialResult, TrialResult) {
+    let mut straight = SimCore::new(scenario, workload, &Pam, dropper, config, exec_seed)
+        .expect("valid straight core");
+    let expected = straight.run_to_completion();
+
+    let mut first = SimCore::new(scenario, workload, &Pam, dropper, config, exec_seed)
+        .expect("valid interrupted core");
+    for _ in 0..steps {
+        if first.step().is_drained() {
+            break;
+        }
+    }
+    let json = serde_json::to_string(&first.snapshot()).expect("serialize checkpoint");
+    drop(first); // the trial is dead; only the checkpoint survives
+    let checkpoint: Checkpoint = serde_json::from_str(&json).expect("parse checkpoint");
+    let mut resumed =
+        SimCore::restore(scenario, &Pam, dropper, &checkpoint).expect("restore checkpoint");
+    let resumed_result = resumed.run_to_completion();
+    (expected, resumed_result)
+}
+
+proptest! {
+    // Each case runs two full trials; 12 cases keep this file well under
+    // the tier-1 budget (the inputs below bound trials to ~200 tasks).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn resuming_from_a_random_interrupt_is_byte_identical(
+        seed in 0u64..1_000,
+        tasks in 40usize..200,
+        steps in 0usize..400,
+        heuristic_dropper in (0u8..2).prop_map(|k| k == 0),
+    ) {
+        let scenario = Scenario::specint(17);
+        let window = (tasks as u64) * 12; // ~2x oversubscription
+        let level = OversubscriptionLevel::new("cp", tasks, window);
+        let workload = Workload::generate(&scenario, &level, 2.0, seed);
+        let heuristic = ProactiveDropper::paper_default();
+        let dropper: &dyn taskdrop::core::DropPolicy =
+            if heuristic_dropper { &heuristic } else { &ReactiveOnly };
+        let (expected, resumed) = interrupted_vs_straight(
+            &scenario, &workload, dropper, quick_config(), seed ^ 0xC0FFEE, steps,
+        );
+        prop_assert_eq!(expected, resumed);
+    }
+}
+
+/// Failure injection exercises the checkpoint paths a clean run never
+/// touches: down machines, bumped epochs, outstanding failure/repair
+/// events far past the snapshot, and lost-to-failure fates.
+#[test]
+fn resuming_under_failure_injection_is_byte_identical() {
+    let scenario = Scenario::specint(29);
+    let level = OversubscriptionLevel::new("cpf", 150, 1_800);
+    let workload = Workload::generate(&scenario, &level, 2.0, 5);
+    let config = SimConfig {
+        failures: Some(taskdrop::sim::FailureSpec { mtbf: 700, mttr: 150 }),
+        ..quick_config()
+    };
+    let dropper = ProactiveDropper::paper_default();
+    for steps in [1, 37, 160] {
+        let (expected, resumed) =
+            interrupted_vs_straight(&scenario, &workload, &dropper, config, 3, steps);
+        assert!(expected.is_conserved());
+        assert_eq!(expected, resumed, "diverged after interrupt at step {steps}");
+    }
+}
+
+/// A checkpoint is a value, not a consumable: restoring it twice gives two
+/// cores that finish identically, and the original snapshot is unchanged
+/// by either run.
+#[test]
+fn a_checkpoint_restores_any_number_of_times() {
+    let scenario = Scenario::transcode(7);
+    let level = OversubscriptionLevel::new("cp2", 120, 2_000);
+    let workload = Workload::generate(&scenario, &level, 1.5, 9);
+    let dropper = ProactiveDropper::paper_default();
+    let mut core = SimCore::new(&scenario, &workload, &Pam, &dropper, quick_config(), 4).unwrap();
+    core.run_until(600);
+    let checkpoint = core.snapshot();
+    let expected = core.run_to_completion();
+
+    let first =
+        SimCore::restore(&scenario, &Pam, &dropper, &checkpoint).unwrap().run_to_completion();
+    let second =
+        SimCore::restore(&scenario, &Pam, &dropper, &checkpoint).unwrap().run_to_completion();
+    assert_eq!(first, expected);
+    assert_eq!(second, expected);
+}
+
+/// Identical states must serialize to identical bytes (snapshots are
+/// canonical), and a snapshot of a restored core must equal the
+/// checkpoint it came from.
+#[test]
+fn snapshots_are_canonical_json() {
+    let scenario = Scenario::specint(3);
+    let level = OversubscriptionLevel::new("cp3", 100, 1_400);
+    let workload = Workload::generate(&scenario, &level, 2.0, 2);
+    let mut core =
+        SimCore::new(&scenario, &workload, &Pam, &ReactiveOnly, quick_config(), 6).unwrap();
+    core.run_until(500);
+    let a = core.snapshot();
+    let b = core.snapshot();
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+
+    let restored = SimCore::restore(&scenario, &Pam, &ReactiveOnly, &a).unwrap();
+    assert_eq!(restored.snapshot(), a, "restore must not perturb the state it loads");
+}
+
+/// An open-world core's checkpoint carries injected tasks and revives
+/// mid-stream injection: inject, snapshot, restore, inject more, drain.
+#[test]
+fn open_world_checkpoints_carry_injected_tasks() {
+    let scenario = Scenario::specint(13);
+    let mut core = SimCore::open(&scenario, &Pam, &ReactiveOnly, quick_config(), 2).unwrap();
+    for k in 0..30u64 {
+        core.inject(taskdrop::model::TaskTypeId((k % 12) as u16), 20 * k, 20 * k + 700).unwrap();
+    }
+    core.run_until(250);
+    let checkpoint = core.snapshot();
+    let expected = core.run_to_completion();
+
+    let mut resumed = SimCore::restore(&scenario, &Pam, &ReactiveOnly, &checkpoint).unwrap();
+    assert_eq!(resumed.total_tasks(), 30);
+    assert_eq!(resumed.run_to_completion(), expected);
+
+    // And the resumed core keeps accepting new work afterwards.
+    let now = resumed.now();
+    resumed.inject(taskdrop::model::TaskTypeId(0), now + 10, now + 500).unwrap();
+    let extended = resumed.run_to_completion();
+    assert_eq!(extended.total_tasks, 31);
+    assert!(extended.is_conserved());
+}

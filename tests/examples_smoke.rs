@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "online_arrivals",
     "oversubscription_sweep",
     "quickstart",
+    "service_loop",
     "video_transcoding",
 ];
 

@@ -317,6 +317,21 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         self.as_slice().to_value()
