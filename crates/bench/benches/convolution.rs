@@ -2,13 +2,39 @@
 //! convolution across impulse counts (factor *B* of the paper's Section IV-F
 //! complexity analysis).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
-use taskdrop_pmf::{deadline_convolve, Pmf};
+use taskdrop_pmf::{deadline_convolve, ChainScratch, Pmf};
 
 fn pmf_with_impulses(n: u64, spread: u64) -> Pmf {
     let step = (spread / n).max(1);
     Pmf::from_weights((0..n).map(|k| (10 + k * step, 1.0 + (k % 7) as f64)).collect()).unwrap()
+}
+
+/// The real elementary-operation count of plain `a ⊛ b`: products plus the
+/// dense accumulator's zero-and-sweep span scan (`conv_budget`), so
+/// per-element throughput reflects measured work rather than `n·m` alone.
+fn plain_budget(a: &Pmf, b: &Pmf) -> u64 {
+    let span = a.support_max().unwrap() + b.support_max().unwrap()
+        - (a.support_min().unwrap() + b.support_min().unwrap())
+        + 1;
+    taskdrop_pmf::conv_budget(a.len(), b.len(), span)
+}
+
+/// The real elementary-operation count of the deadline-aware variant: only
+/// predecessor impulses before `deadline` convolve (`k·m` products), the
+/// rest pass through (one product each), and the accumulator spans the
+/// *actual* result support — smaller than the plain convolution's.
+fn deadline_budget(a: &Pmf, b: &Pmf, deadline: u64) -> u64 {
+    let k = a.iter().take_while(|i| i.t < deadline).count() as u64;
+    let products = k * b.len() as u64 + (a.len() as u64 - k);
+    let c = deadline_convolve(a, b, deadline);
+    let span = c.support_max().unwrap() - c.support_min().unwrap() + 1;
+    if span <= taskdrop_pmf::DENSE_SPAN_LIMIT {
+        products + span
+    } else {
+        products
+    }
 }
 
 fn bench_convolution(c: &mut Criterion) {
@@ -17,11 +43,20 @@ fn bench_convolution(c: &mut Criterion) {
     for n in [8u64, 16, 32, 64, 128] {
         let a = pmf_with_impulses(n, 400);
         let b = pmf_with_impulses(n, 400);
+        group.throughput(Throughput::Elements(plain_budget(&a, &b)));
         group.bench_with_input(BenchmarkId::new("plain", n), &n, |bench, _| {
             bench.iter(|| black_box(a.convolve(&b)));
         });
+        group.throughput(Throughput::Elements(deadline_budget(&a, &b, 350)));
         group.bench_with_input(BenchmarkId::new("deadline", n), &n, |bench, _| {
             bench.iter(|| black_box(deadline_convolve(&a, &b, 350)));
+        });
+        // The fused kernel doing the same Eq 1 work plus the Eq 2 chance,
+        // with zero materialisation — the gap to "deadline" is the cost of
+        // the sort + Pmf allocation the scratch path eliminates.
+        group.bench_with_input(BenchmarkId::new("fused_chance", n), &n, |bench, _| {
+            let mut scratch = ChainScratch::new();
+            bench.iter(|| black_box(scratch.chance_of(&a, &b, 350)));
         });
     }
     group.finish();

@@ -24,7 +24,7 @@
 //! *exactly* to [`ProactiveDropper`] (tested).
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::{chain, chance_sum, ChainTask};
+use taskdrop_model::queue::{ChainEvaluator, ChainLink, ChainTask, LazyChain};
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// Proactive dropping with degradation to approximate task variants.
@@ -84,19 +84,25 @@ impl DropPolicy for ApproxDropper {
             .collect();
         let value = ctx.approx.map_or(0.0, |a| a.value);
 
+        let base = queue.base();
         let mut drops = Vec::new();
         let mut degrades = Vec::new();
-        let mut links = chain(&queue.base(), &tasks, ctx.compaction);
-        let mut prev = queue.base();
+        // Lazily extended baseline + probe evaluators, exactly as in
+        // `ProactiveDropper::select_drops` (prefix reuse, DESIGN.md §12);
+        // the baseline reflects the current survivor/fidelity set.
+        let mut baseline = LazyChain::begin(&base);
+        let mut probe = ChainEvaluator::new();
+        let mut prev = base;
         for i in 0..n - 1 {
             let window_end = (i + 1 + self.eta).min(n);
-            let u_keep: f64 = links[i..window_end].iter().map(|l| l.chance).sum();
-            let u_drop = chance_sum(&prev, &tasks[i + 1..], self.eta, ctx.compaction);
+            baseline.ensure(&tasks, window_end, ctx.compaction);
+            let u_keep: f64 = baseline.links()[i..window_end].iter().map(|l| l.chance).sum();
+            let u_drop = probe.chance_sum(&prev, &tasks[i + 1..], self.eta, ctx.compaction);
 
             if u_drop <= self.beta * u_keep + f64::EPSILON {
                 // Eq 8 keeps the task at full fidelity; never degrade work
                 // that is worth running as-is.
-                prev = links[i].completion.clone();
+                prev = baseline.links()[i].completion.clone();
                 continue;
             }
 
@@ -106,15 +112,11 @@ impl DropPolicy for ApproxDropper {
             let u_degrade = match degraded_exec[i] {
                 Some(exec) => {
                     let head = ChainTask { deadline: tasks[i].deadline, exec };
-                    let head_link = chain(&prev, &[head], ctx.compaction);
-                    let own = value * head_link[0].chance;
-                    let rest = chance_sum(
-                        &head_link[0].completion,
-                        &tasks[i + 1..],
-                        self.eta,
-                        ctx.compaction,
-                    );
-                    Some((own + rest, head_link.into_iter().next().expect("one link")))
+                    let (chance, completion) = probe.step_from(&prev, head, ctx.compaction);
+                    let own = value * chance;
+                    let rest =
+                        probe.chance_sum(&completion, &tasks[i + 1..], self.eta, ctx.compaction);
+                    Some((own + rest, ChainLink { completion, chance }))
                 }
                 None => None,
             };
@@ -123,22 +125,21 @@ impl DropPolicy for ApproxDropper {
                 Some((u_deg, head_link)) if u_deg >= u_drop => {
                     degrades.push(i);
                     // The chain continues from the degraded completion: swap
-                    // task i's exec PMF and rebuild the baseline suffix.
+                    // task i's exec PMF (kept consistent even though only
+                    // positions past i are ever re-chained) and rewind the
+                    // baseline to restart behind the degraded head.
                     tasks[i] = ChainTask {
                         deadline: tasks[i].deadline,
                         exec: degraded_exec[i].expect("degrade branch"),
                     };
-                    let suffix = chain(&head_link.completion, &tasks[i + 1..], ctx.compaction);
-                    links.truncate(i);
-                    links.push(head_link);
-                    links.extend(suffix);
-                    prev = links[i].completion.clone();
+                    prev = head_link.completion.clone();
+                    baseline.replace(i, head_link);
+                    baseline.rewind(&prev, i + 1);
                 }
                 _ => {
                     drops.push(i);
-                    let suffix = chain(&prev, &tasks[i + 1..], ctx.compaction);
-                    links.truncate(i + 1);
-                    links.extend(suffix);
+                    // prev unchanged; links[i] now dead, never read again.
+                    baseline.rewind(&prev, i + 1);
                 }
             }
         }

@@ -30,9 +30,18 @@
 //! Confirmed drops take effect immediately within the pass: the chain
 //! predecessor PMF simply skips dropped tasks, so later decisions see the
 //! improved queue — `O(η·q)` convolutions per queue (Section IV-F).
+//!
+//! Implementation: two fused [`ChainEvaluator`]s (DESIGN.md §12). The
+//! *baseline* evaluator extends the no-further-drops chain lazily, only as
+//! far as the current keep-window needs — so a confirmed drop invalidates
+//! and re-chains at most the next window instead of the whole `O(q)`
+//! suffix (prefix reuse: candidate *i+1* starts from the surviving prefix
+//! already evaluated for candidate *i*). The *probe* evaluator prices the
+//! η-deep drop-window of Eq 8. Decisions are bit-identical to the naive
+//! formulation; only allocation and re-chaining are removed.
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::{chain, chance_sum, ChainTask};
+use taskdrop_model::queue::{ChainEvaluator, LazyChain};
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// The autonomous proactive dropping heuristic.
@@ -88,36 +97,40 @@ impl DropPolicy for ProactiveDropper {
     }
 
     fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
-        let tasks: Vec<ChainTask<'_>> = queue.chain_tasks();
+        let tasks = queue.chain_tasks();
         let n = tasks.len();
         if n < 2 {
             // A single pending task is the last task: influence zone empty.
             return DropDecision::none();
         }
+        let base = queue.base();
         let mut drops = Vec::new();
-        // Baseline chain (no further drops) is computed once and patched
-        // only when a drop is confirmed: the keep-future of position i reads
-        // straight from it, so each position costs η extra convolutions (the
-        // drop-branch) instead of 2η+2 — the O(η·q) bound of Section IV-F.
-        let mut links = chain(&queue.base(), &tasks, ctx.compaction);
+        // Baseline chain (no further drops): the keep-future of position i
+        // reads straight from it, so each position costs η extra
+        // convolutions (the drop-branch) instead of 2η+2 — the O(η·q)
+        // bound of Section IV-F. `LazyChain` extends it only as far as the
+        // current keep-window needs, so a confirmed drop re-chains at most
+        // one window instead of the whole suffix.
+        let mut baseline = LazyChain::begin(&base);
+        let mut probe = ChainEvaluator::new();
         // Completion PMF of the latest surviving predecessor.
-        let mut prev = queue.base();
+        let mut prev = base;
         for i in 0..n - 1 {
             let window_end = (i + 1 + self.eta).min(n);
+            baseline.ensure(&tasks, window_end, ctx.compaction);
             // Keep-future: chances of i and up to η successors, from the
             // baseline chain.
-            let keep: f64 = links[i..window_end].iter().map(|l| l.chance).sum();
+            let keep: f64 = baseline.links()[i..window_end].iter().map(|l| l.chance).sum();
             // Drop-future: chances of up to η successors with i removed.
-            let drop = chance_sum(&prev, &tasks[i + 1..], self.eta, ctx.compaction);
+            let drop = probe.chance_sum(&prev, &tasks[i + 1..], self.eta, ctx.compaction);
             if drop > self.beta * keep + f64::EPSILON {
                 drops.push(i);
-                // prev unchanged: the chain now skips task i. Recompute the
-                // baseline suffix the later keep-futures will read.
-                let suffix = chain(&prev, &tasks[i + 1..], ctx.compaction);
-                links.truncate(i + 1); // links[i] now dead, never read again
-                links.extend(suffix);
+                // prev unchanged: the chain now skips task i; positions
+                // past it re-chain from prev on demand (links[i] now dead,
+                // never read again).
+                baseline.rewind(&prev, i + 1);
             } else {
-                prev = links[i].completion.clone();
+                prev = baseline.links()[i].completion.clone();
             }
         }
         DropDecision::drops(drops)

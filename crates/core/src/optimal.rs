@@ -21,9 +21,9 @@
 //! and ablated in the benchmarks.
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::ChainTask;
+use taskdrop_model::queue::{ChainEvaluator, ChainTask};
 use taskdrop_model::view::{DropContext, QueueView};
-use taskdrop_pmf::{deadline_convolve, Compaction, Pmf};
+use taskdrop_pmf::{Compaction, Pmf};
 
 /// Exhaustive optimal proactive dropping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,9 @@ struct Search<'a> {
     tasks: &'a [ChainTask<'a>],
     compaction: Compaction,
     prune: bool,
+    /// Fused per-step evaluator: one completion materialisation per keep
+    /// edge instead of a raw PMF plus a compacted clone.
+    eval: ChainEvaluator,
     /// Upper bound on the chance of position `i`: its chance when chained
     /// directly after the queue base (all predecessors dropped), plus the
     /// best-case chances of all later positions. `bound[i]` = max possible
@@ -94,11 +97,9 @@ impl Search<'_> {
             }
             return;
         }
-        let t = &self.tasks[pos];
+        let t = self.tasks[pos];
         // Keep branch first: the empty drop set is the first leaf visited.
-        let raw = deadline_convolve(prev, t.exec, t.deadline);
-        let chance = raw.mass_before(t.deadline);
-        let completion = self.compaction.apply(&raw);
+        let (chance, completion) = self.eval.step_from(prev, t, self.compaction);
         self.dfs(pos + 1, &completion, acc + chance);
         // Drop branch (not allowed for the last position).
         if pos + 1 < self.tasks.len() {
@@ -127,6 +128,7 @@ impl DropPolicy for OptimalDropper {
             n - 1
         );
         let base = queue.base();
+        let mut eval = ChainEvaluator::new();
 
         // Per-position best-case chance: chained directly after the base.
         // Admissible: any surviving predecessor chain is stochastically
@@ -134,22 +136,22 @@ impl DropPolicy for OptimalDropper {
         // predecessor (see `completion_dominates_predecessor` property).
         let mut bound_tail = vec![0.0; n + 1];
         for i in (0..n).rev() {
-            let solo = deadline_convolve(&base, tasks[i].exec, tasks[i].deadline);
-            bound_tail[i] = bound_tail[i + 1] + solo.mass_before(tasks[i].deadline);
+            bound_tail[i] = bound_tail[i + 1] + eval.chance_from(&base, tasks[i]);
         }
 
+        // Seed the incumbent with the no-drop chain so pruning has a bar,
+        // then search all alternatives.
+        let seed_r = eval.chance_sum(&base, &tasks, n, ctx.compaction);
         let mut search = Search {
             tasks: &tasks,
             compaction: ctx.compaction,
             prune: self.prune,
+            eval,
             bound_tail,
-            best_r: f64::NEG_INFINITY,
+            best_r: seed_r,
             best_drops: Vec::new(),
             current: Vec::new(),
         };
-        // Seed the incumbent with the no-drop chain so pruning has a bar,
-        // then search all alternatives.
-        search.best_r = taskdrop_model::queue::chance_sum(&base, &tasks, n, ctx.compaction);
         search.dfs(0, &base, 0.0);
         DropDecision::drops(search.best_drops)
     }

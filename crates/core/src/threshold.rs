@@ -25,9 +25,8 @@
 //! task on its own chance, not on its influence zone.
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::ChainTask;
+use taskdrop_model::queue::{ChainEvaluator, ChainTask};
 use taskdrop_model::view::{DropContext, QueueView};
-use taskdrop_pmf::deadline_convolve;
 
 /// Threshold-based probabilistic dropping (the PAM+Threshold baseline).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,15 +89,15 @@ impl DropPolicy for ThresholdDropper {
         let tasks: Vec<ChainTask<'_>> = queue.chain_tasks();
         let threshold = self.effective_threshold(ctx.pressure);
         let mut drops = Vec::new();
+        let mut eval = ChainEvaluator::new();
         let mut prev = queue.base();
-        for (i, t) in tasks.iter().enumerate() {
-            let raw = deadline_convolve(&prev, t.exec, t.deadline);
-            let chance = raw.mass_before(t.deadline);
+        for (i, &t) in tasks.iter().enumerate() {
+            let (chance, completion) = eval.step_from(&prev, t, ctx.compaction);
             if chance < threshold {
                 drops.push(i);
                 // prev unchanged: the chain skips the dropped task.
             } else {
-                prev = ctx.compaction.apply(&raw);
+                prev = completion;
             }
         }
         DropDecision::drops(drops)

@@ -18,7 +18,7 @@
 //! if `i` is dropped).
 
 use std::ops::Range;
-use taskdrop_pmf::{deadline_convolve, Compaction, Pmf, Tick};
+use taskdrop_pmf::{deadline_convolve, ChainScratch, Compaction, Impulse, Pmf, Tick};
 
 /// One pending task as seen by the chain: its deadline and its
 /// execution-time PMF on this machine (a PET matrix cell).
@@ -49,6 +49,9 @@ pub struct ChainLink {
 /// Returns one [`ChainLink`] per task. Each link's `completion` is compacted
 /// per `compaction` before feeding the next convolution (the paper's
 /// histogram discretisation keeps impulse counts bounded the same way).
+///
+/// This is the allocation-per-step *reference* implementation; hot paths
+/// use [`ChainEvaluator`], which is bit-identical and reuses its buffers.
 #[must_use]
 pub fn chain(base: &Pmf, tasks: &[ChainTask<'_>], compaction: Compaction) -> Vec<ChainLink> {
     let mut links = Vec::with_capacity(tasks.len());
@@ -109,6 +112,217 @@ pub fn chain_with_drops(
         links.push(Some(ChainLink { completion, chance }));
     }
     links
+}
+
+/// Zero-allocation fused evaluator serving [`chain`], [`chance_sum`],
+/// [`chain_with_drops`] and queue-tail queries from one reusable set of
+/// scratch buffers.
+///
+/// The free functions above are the *reference* implementations: one
+/// [`Pmf`] materialisation per convolution plus a compaction clone per
+/// step. The evaluator performs the same arithmetic through
+/// [`ChainScratch`] — deadline products accumulated into a dense
+/// tick-indexed buffer (no sort), the Eq (2) chance summed in the same
+/// sweep, compaction rebinned straight into a ping-pong predecessor buffer
+/// — so its outputs are **bit-identical** to the reference
+/// (`crates/model/tests/evaluator_equivalence.rs` enforces this under all
+/// three [`Compaction`] policies) while doing no steady-state allocation.
+///
+/// One evaluator is meant to be reused across many queues: buffers grow to
+/// the scenario's working-set size and stay there. Methods taking `&mut
+/// self` reset the chain state; the incremental API
+/// ([`ChainEvaluator::begin`] / [`ChainEvaluator::step`]) is for callers
+/// like the proactive dropper that interleave chain extension with
+/// decisions.
+#[derive(Debug, Default, Clone)]
+pub struct ChainEvaluator {
+    scratch: ChainScratch,
+}
+
+impl ChainEvaluator {
+    /// A fresh evaluator with empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        ChainEvaluator::default()
+    }
+
+    /// Starts an incremental chain whose predecessor completion is `base`.
+    pub fn begin(&mut self, base: &Pmf) {
+        self.scratch.begin(base);
+    }
+
+    /// Advances the incremental chain by one task, returning its chance of
+    /// success (Eq 2, evaluated on the raw pre-compaction completion).
+    pub fn step(&mut self, task: ChainTask<'_>, compaction: Compaction) -> f64 {
+        self.scratch.step(task.exec, task.deadline, compaction)
+    }
+
+    /// The current predecessor completion of the incremental chain.
+    #[must_use]
+    pub fn completion(&self) -> &[Impulse] {
+        self.scratch.completion()
+    }
+
+    /// Materialises the current predecessor completion as a [`Pmf`].
+    #[must_use]
+    pub fn completion_pmf(&self) -> Pmf {
+        self.scratch.completion_pmf()
+    }
+
+    /// One-shot step from an arbitrary predecessor `prev`, leaving any
+    /// incremental chain state untouched. Returns `(chance, completion)`.
+    pub fn step_from(
+        &mut self,
+        prev: &Pmf,
+        task: ChainTask<'_>,
+        compaction: Compaction,
+    ) -> (f64, Pmf) {
+        self.scratch.step_pmf(prev, task.exec, task.deadline, compaction)
+    }
+
+    /// Chance of success of `task` queued directly behind `prev`, without
+    /// materialising the completion (Eq 1 + Eq 2 fused).
+    pub fn chance_from(&mut self, prev: &Pmf, task: ChainTask<'_>) -> f64 {
+        self.scratch.chance_of(prev, task.exec, task.deadline)
+    }
+
+    /// Fused equivalent of [`chain`].
+    pub fn chain(
+        &mut self,
+        base: &Pmf,
+        tasks: &[ChainTask<'_>],
+        compaction: Compaction,
+    ) -> Vec<ChainLink> {
+        self.begin(base);
+        let mut links = Vec::with_capacity(tasks.len());
+        for &t in tasks {
+            let chance = self.step(t, compaction);
+            links.push(ChainLink { completion: self.completion_pmf(), chance });
+        }
+        links
+    }
+
+    /// Fused equivalent of [`chance_sum`].
+    pub fn chance_sum(
+        &mut self,
+        base: &Pmf,
+        tasks: &[ChainTask<'_>],
+        take: usize,
+        compaction: Compaction,
+    ) -> f64 {
+        self.begin(base);
+        let mut sum = 0.0;
+        for &t in tasks.iter().take(take) {
+            sum += self.step(t, compaction);
+        }
+        sum
+    }
+
+    /// Fused equivalent of [`chain_with_drops`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dropped.len() != tasks.len()`.
+    pub fn chain_with_drops(
+        &mut self,
+        base: &Pmf,
+        tasks: &[ChainTask<'_>],
+        dropped: &[bool],
+        compaction: Compaction,
+    ) -> Vec<Option<ChainLink>> {
+        assert_eq!(dropped.len(), tasks.len(), "drop mask must match task count");
+        self.begin(base);
+        let mut links = Vec::with_capacity(tasks.len());
+        for (&t, &is_dropped) in tasks.iter().zip(dropped) {
+            if is_dropped {
+                links.push(None);
+                continue;
+            }
+            let chance = self.step(t, compaction);
+            links.push(Some(ChainLink { completion: self.completion_pmf(), chance }));
+        }
+        links
+    }
+
+    /// Completion PMF of the queue tail — where a task appended after
+    /// `tasks` would wait. Equivalent to the last link of [`chain`] (or
+    /// `base` itself for an empty queue) without materialising the
+    /// intermediate links.
+    pub fn tail(&mut self, base: &Pmf, tasks: &[ChainTask<'_>], compaction: Compaction) -> Pmf {
+        self.begin(base);
+        for &t in tasks {
+            self.step(t, compaction);
+        }
+        self.completion_pmf()
+    }
+}
+
+/// A lazily-extended baseline chain with prefix reuse — the shared
+/// machinery of the proactive dropping policies (DESIGN.md §12).
+///
+/// Holds one [`ChainLink`] per evaluated position plus a watermark:
+/// `links()[..valid_to]` reflect the current survivor set; slots at or past
+/// the watermark are stale leftovers from before a drop and are always
+/// rewritten by [`LazyChain::ensure`] before they can be read. A confirmed
+/// drop calls [`LazyChain::rewind`], which re-chains at most the next
+/// Eq (8) window on demand instead of the whole `O(q)` suffix.
+#[derive(Debug, Default, Clone)]
+pub struct LazyChain {
+    eval: ChainEvaluator,
+    links: Vec<ChainLink>,
+    valid_to: usize,
+}
+
+impl LazyChain {
+    /// A baseline chain whose predecessor completion starts at `base`.
+    #[must_use]
+    pub fn begin(base: &Pmf) -> Self {
+        let mut chain = LazyChain::default();
+        chain.eval.begin(base);
+        chain
+    }
+
+    /// Extends the baseline so positions `..upto` are evaluated against the
+    /// current survivor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto > tasks.len()`.
+    pub fn ensure(&mut self, tasks: &[ChainTask<'_>], upto: usize, compaction: Compaction) {
+        while self.valid_to < upto {
+            let chance = self.eval.step(tasks[self.valid_to], compaction);
+            let link = ChainLink { completion: self.eval.completion_pmf(), chance };
+            if self.valid_to == self.links.len() {
+                self.links.push(link);
+            } else {
+                self.links[self.valid_to] = link;
+            }
+            self.valid_to += 1;
+        }
+    }
+
+    /// The evaluated links. Only `..valid_to` — everything a preceding
+    /// [`LazyChain::ensure`] covered — is meaningful; later slots are stale.
+    #[must_use]
+    pub fn links(&self) -> &[ChainLink] {
+        &self.links
+    }
+
+    /// Replaces the link at `i` (which must already be evaluated), e.g.
+    /// with a degraded-head link.
+    pub fn replace(&mut self, i: usize, link: ChainLink) {
+        assert!(i < self.valid_to, "cannot replace a link past the watermark");
+        self.links[i] = link;
+    }
+
+    /// Invalidates positions `to..` and restarts the chain from the
+    /// predecessor completion `from` — the prefix-reuse rewind after a
+    /// confirmed drop (or degrade) at position `to - 1`.
+    pub fn rewind(&mut self, from: &Pmf, to: usize) {
+        assert!(to <= self.valid_to, "rewind cannot move the watermark forward");
+        self.valid_to = to;
+        self.eval.begin(from);
+    }
 }
 
 /// Instantaneous robustness (Eq 3 / Eq 7): the sum of chances of success of

@@ -1,0 +1,155 @@
+//! Bit-identity of the fused [`ChainEvaluator`] against the naive
+//! reference chain functions.
+//!
+//! The evaluator replaces per-step `Pmf` materialisation, the sort-based
+//! coalesce and the compaction clone with reusable scratch buffers and a
+//! dense accumulator. That is only sound because the *float summation
+//! order* is preserved (DESIGN.md §12); these properties pin the outputs
+//! bit-for-bit — `f64::to_bits`, not tolerances — across random queues and
+//! all three [`Compaction`] policies.
+
+use proptest::prelude::*;
+use taskdrop_model::queue::{chain, chain_with_drops, chance_sum, ChainEvaluator, ChainTask};
+use taskdrop_pmf::{Compaction, Pmf, Tick};
+
+/// A random normalised PMF with up to 12 impulses on ticks 0..=400.
+fn arb_pmf() -> impl Strategy<Value = Pmf> {
+    prop::collection::vec((0u64..=400, 1u32..=1000), 1..=12).prop_map(|pairs| {
+        let weights: Vec<(Tick, f64)> = pairs.into_iter().map(|(t, w)| (t, w as f64)).collect();
+        Pmf::from_weights(weights).expect("positive weights")
+    })
+}
+
+/// A random queue: execution PMFs plus deadlines spanning hopeless to roomy.
+fn arb_queue() -> impl Strategy<Value = (Pmf, Vec<(Pmf, Tick)>)> {
+    (arb_pmf(), prop::collection::vec((arb_pmf(), 0u64..=2_000), 1..=7))
+}
+
+fn arb_compaction() -> impl Strategy<Value = Compaction> {
+    (0u8..3, 2usize..=32, 1u64..=64).prop_map(|(kind, max, width)| match kind {
+        0 => Compaction::None,
+        1 => Compaction::MaxImpulses(max),
+        _ => Compaction::BinWidth(width),
+    })
+}
+
+fn tasks_of(queue: &[(Pmf, Tick)]) -> Vec<ChainTask<'_>> {
+    queue.iter().map(|(exec, deadline)| ChainTask { deadline: *deadline, exec }).collect()
+}
+
+fn pmf_bits(p: &Pmf) -> Vec<(Tick, u64)> {
+    p.iter().map(|i| (i.t, i.p.to_bits())).collect()
+}
+
+proptest! {
+    #[test]
+    fn evaluator_chain_is_bit_identical(
+        bq in arb_queue(),
+        compaction in arb_compaction(),
+    ) {
+        let (base, queue) = bq;
+        let tasks = tasks_of(&queue);
+        let naive = chain(&base, &tasks, compaction);
+        let mut eval = ChainEvaluator::new();
+        let fused = eval.chain(&base, &tasks, compaction);
+        prop_assert_eq!(naive.len(), fused.len());
+        for (n, f) in naive.iter().zip(fused.iter()) {
+            prop_assert_eq!(n.chance.to_bits(), f.chance.to_bits());
+            prop_assert_eq!(pmf_bits(&n.completion), pmf_bits(&f.completion));
+        }
+    }
+
+    #[test]
+    fn evaluator_chance_sum_is_bit_identical(
+        bq in arb_queue(),
+        compaction in arb_compaction(),
+        take in 0usize..=8,
+    ) {
+        let (base, queue) = bq;
+        let tasks = tasks_of(&queue);
+        let naive = chance_sum(&base, &tasks, take, compaction);
+        let mut eval = ChainEvaluator::new();
+        let fused = eval.chance_sum(&base, &tasks, take, compaction);
+        prop_assert_eq!(naive.to_bits(), fused.to_bits());
+    }
+
+    #[test]
+    fn evaluator_chain_with_drops_is_bit_identical(
+        bq in arb_queue(),
+        compaction in arb_compaction(),
+        mask_seed in 0u64..u64::MAX,
+    ) {
+        let (base, queue) = bq;
+        let tasks = tasks_of(&queue);
+        let dropped: Vec<bool> = (0..tasks.len()).map(|i| mask_seed >> i & 1 == 1).collect();
+        let naive = chain_with_drops(&base, &tasks, &dropped, compaction);
+        let mut eval = ChainEvaluator::new();
+        let fused = eval.chain_with_drops(&base, &tasks, &dropped, compaction);
+        prop_assert_eq!(naive.len(), fused.len());
+        for (n, f) in naive.iter().zip(fused.iter()) {
+            match (n, f) {
+                (None, None) => {}
+                (Some(n), Some(f)) => {
+                    prop_assert_eq!(n.chance.to_bits(), f.chance.to_bits());
+                    prop_assert_eq!(pmf_bits(&n.completion), pmf_bits(&f.completion));
+                }
+                _ => prop_assert!(false, "drop masks disagree"),
+            }
+        }
+    }
+
+    /// `tail` equals the last link of the reference chain, and a reused
+    /// evaluator (dirty buffers from a previous queue) stays bit-identical.
+    #[test]
+    fn evaluator_tail_and_reuse_are_bit_identical(
+        bq in arb_queue(),
+        bq2 in arb_queue(),
+        compaction in arb_compaction(),
+    ) {
+        let (base, queue) = bq;
+        let (base2, queue2) = bq2;
+        let tasks = tasks_of(&queue);
+        let mut eval = ChainEvaluator::new();
+        let tail = eval.tail(&base, &tasks, compaction);
+        let naive = chain(&base, &tasks, compaction);
+        prop_assert_eq!(
+            pmf_bits(&tail),
+            pmf_bits(&naive.last().expect("non-empty queue").completion)
+        );
+        // Second, unrelated queue through the same evaluator.
+        let tasks2 = tasks_of(&queue2);
+        let naive2 = chain(&base2, &tasks2, compaction);
+        let fused2 = eval.chain(&base2, &tasks2, compaction);
+        for (n, f) in naive2.iter().zip(fused2.iter()) {
+            prop_assert_eq!(n.chance.to_bits(), f.chance.to_bits());
+            prop_assert_eq!(pmf_bits(&n.completion), pmf_bits(&f.completion));
+        }
+    }
+
+    /// The incremental API (`begin`/`step`/`step_from`/`chance_from`)
+    /// matches the reference step arithmetic bit-for-bit.
+    #[test]
+    fn incremental_api_is_bit_identical(
+        bq in arb_queue(),
+        compaction in arb_compaction(),
+    ) {
+        let (base, queue) = bq;
+        let tasks = tasks_of(&queue);
+        let naive = chain(&base, &tasks, compaction);
+        let mut eval = ChainEvaluator::new();
+        let mut probe = ChainEvaluator::new();
+        eval.begin(&base);
+        let mut prev = base.clone();
+        for (i, &t) in tasks.iter().enumerate() {
+            let chance = eval.step(t, compaction);
+            prop_assert_eq!(chance.to_bits(), naive[i].chance.to_bits());
+            prop_assert_eq!(pmf_bits(&eval.completion_pmf()), pmf_bits(&naive[i].completion));
+            // One-shot helpers from the same predecessor agree too.
+            let (c2, completion) = probe.step_from(&prev, t, compaction);
+            prop_assert_eq!(c2.to_bits(), naive[i].chance.to_bits());
+            prop_assert_eq!(pmf_bits(&completion), pmf_bits(&naive[i].completion));
+            prop_assert_eq!(probe.chance_from(&prev, t).to_bits(), naive[i].chance.to_bits());
+            prev = naive[i].completion.clone();
+        }
+    }
+}

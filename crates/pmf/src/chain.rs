@@ -1,0 +1,305 @@
+//! Zero-allocation fused chain stepping — the engine's hot path.
+//!
+//! One step of a machine-queue completion-time chain is Eq (1) followed by
+//! Eq (2) and compaction:
+//!
+//! 1. deadline-aware convolution of the predecessor completion PMF with the
+//!    task's execution PMF ([`crate::deadline_convolve`]);
+//! 2. the chance of success — mass strictly before the deadline — read off
+//!    the *raw* (uncompacted) result so the deadline boundary is exact;
+//! 3. compaction of the result before it feeds the next step.
+//!
+//! Done naively that is three materialisations per step: a raw pair vector
+//! that gets sorted, a coalesced [`Pmf`], and a compacted clone. The
+//! [`ChainScratch`] here makes one pass instead: raw `(tick, mass)` products
+//! are appended by the same generator as [`crate::deadline_convolve_into`],
+//! accumulated into a reusable **dense tick-indexed buffer** (no sort), the
+//! chance is summed during the sweep, and compaction rebins straight into a
+//! ping-pong output buffer that becomes the next step's predecessor. No
+//! allocation occurs after the buffers reach their steady-state sizes.
+//!
+//! # Determinism contract
+//!
+//! Floating-point addition is not associative, so the *order* in which
+//! colliding products are summed is part of the observable behaviour. The
+//! canonical order is **generation order**: ascending predecessor tick,
+//! then ascending execution tick (the order `deadline_convolve_into`
+//! appends). The dense accumulator preserves it by construction, and the
+//! sparse fallback (support span above [`crate::DENSE_SPAN_LIMIT`]) is the
+//! shared [`coalesce`](crate::ops) path, so [`crate::deadline_convolve`]
+//! and every [`ChainScratch`] method produce **bit-identical** results —
+//! `tests/` in `taskdrop_model` enforce this against the naive chain.
+
+use crate::compact::Compaction;
+use crate::ops::{coalesce_into, product_capacity, DENSE_SPAN_LIMIT};
+use crate::pmf::{Impulse, Pmf};
+use crate::Tick;
+
+/// Accumulates raw `(tick, mass)` products into coalesced, sorted impulses.
+///
+/// Chooses the same dense/sparse split as [`Pmf::convolve`]: when the
+/// support span fits [`DENSE_SPAN_LIMIT`], products are scattered into a
+/// zeroed tick-indexed buffer (`O(span + pairs)`, no sort) which preserves
+/// generation order for colliding ticks; otherwise the pairs are sorted and
+/// merged (the pre-existing sparse path). `pairs` is consumed (left empty),
+/// `out` receives the result.
+pub(crate) fn accumulate(pairs: &mut Vec<(Tick, f64)>, acc: &mut Vec<f64>, out: &mut Vec<Impulse>) {
+    out.clear();
+    let Some(&(first_t, _)) = pairs.first() else {
+        return;
+    };
+    let mut lo = first_t;
+    let mut hi = first_t;
+    for &(t, _) in pairs.iter() {
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    let span = hi - lo + 1;
+    if span <= DENSE_SPAN_LIMIT {
+        acc.clear();
+        acc.resize(span as usize, 0.0);
+        for &(t, p) in pairs.iter() {
+            acc[(t - lo) as usize] += p;
+        }
+        for (off, &p) in acc.iter().enumerate() {
+            if p > 0.0 {
+                out.push(Impulse { t: lo + off as Tick, p });
+            }
+        }
+        pairs.clear();
+    } else {
+        coalesce_into(pairs, out);
+    }
+}
+
+/// Sum of impulse masses strictly before `deadline`, in ascending tick
+/// order — the same summation [`Pmf::mass_before`] performs.
+fn chance_before(raw: &[Impulse], deadline: Tick) -> f64 {
+    let mut sum = 0.0f64;
+    for i in raw {
+        if i.t >= deadline {
+            break;
+        }
+        sum += i.p;
+    }
+    sum
+}
+
+/// Appends the raw Eq (1) products of `prev ⊛ exec` under `deadline` into
+/// `out` (cleared first); slice-level twin of
+/// [`crate::deadline_convolve_into`].
+pub(crate) fn push_products(
+    prev: &[Impulse],
+    exec: &[Impulse],
+    deadline: Tick,
+    out: &mut Vec<(Tick, f64)>,
+) {
+    out.clear();
+    for pi in prev {
+        if pi.t < deadline {
+            // Task starts at pi.t; completion = start + execution time.
+            for ei in exec {
+                out.push((pi.t + ei.t, pi.p * ei.p));
+            }
+        } else {
+            // Reactive drop: machine is free at the predecessor's completion.
+            out.push((pi.t, pi.p));
+        }
+    }
+}
+
+/// Reusable scratch buffers for fused chain stepping.
+///
+/// Owns five buffers: the raw product pairs, the dense accumulator, the
+/// uncompacted result, and a ping-pong pair (`cur`/`next`) holding the
+/// current and upcoming predecessor completion. All buffers are cleared and
+/// refilled per step but never shrink, so a steady-state chain evaluation
+/// performs no heap allocation.
+///
+/// Ownership rule: `cur` (exposed via [`ChainScratch::completion`]) is only
+/// valid between [`ChainScratch::begin`]/[`ChainScratch::step`] calls; the
+/// one-shot helpers ([`ChainScratch::step_pmf`], [`ChainScratch::chance_of`])
+/// clobber the internal work buffers but leave `cur` untouched, so they can
+/// be interleaved with an in-progress chain.
+#[derive(Debug, Default, Clone)]
+pub struct ChainScratch {
+    pairs: Vec<(Tick, f64)>,
+    acc: Vec<f64>,
+    raw: Vec<Impulse>,
+    cur: Vec<Impulse>,
+    next: Vec<Impulse>,
+}
+
+impl ChainScratch {
+    /// Fresh scratch with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        ChainScratch::default()
+    }
+
+    /// Starts a chain: the predecessor completion becomes `base`.
+    pub fn begin(&mut self, base: &Pmf) {
+        self.cur.clear();
+        self.cur.extend_from_slice(&base.impulses);
+    }
+
+    /// Advances the chain by one task: Eq (1) against the current
+    /// predecessor, Eq (2) on the raw result, compaction into the new
+    /// predecessor. Returns the chance of success.
+    pub fn step(&mut self, exec: &Pmf, deadline: Tick, compaction: Compaction) -> f64 {
+        let ChainScratch { pairs, acc, raw, cur, next } = self;
+        push_products(cur, &exec.impulses, deadline, pairs);
+        accumulate(pairs, acc, raw);
+        let chance = chance_before(raw, deadline);
+        compaction.apply_into(raw, next);
+        std::mem::swap(cur, next);
+        chance
+    }
+
+    /// The current (compacted) predecessor completion.
+    #[must_use]
+    pub fn completion(&self) -> &[Impulse] {
+        &self.cur
+    }
+
+    /// Materialises the current predecessor completion as a [`Pmf`].
+    #[must_use]
+    pub fn completion_pmf(&self) -> Pmf {
+        Pmf::from_sorted_unchecked(self.cur.clone())
+    }
+
+    /// One-shot fused step from an arbitrary predecessor: returns the
+    /// chance of success and the compacted completion, without touching the
+    /// chain state set up by [`ChainScratch::begin`]. Bit-identical to
+    /// `compaction.apply(&deadline_convolve(prev, exec, deadline))` plus
+    /// `raw.mass_before(deadline)`.
+    pub fn step_pmf(
+        &mut self,
+        prev: &Pmf,
+        exec: &Pmf,
+        deadline: Tick,
+        compaction: Compaction,
+    ) -> (f64, Pmf) {
+        let ChainScratch { pairs, acc, raw, next, .. } = self;
+        push_products(&prev.impulses, &exec.impulses, deadline, pairs);
+        accumulate(pairs, acc, raw);
+        let chance = chance_before(raw, deadline);
+        compaction.apply_into(raw, next);
+        (chance, Pmf::from_sorted_unchecked(next.clone()))
+    }
+
+    /// Chance of success of `prev ⊛ exec` under `deadline` (Eq 1 + Eq 2)
+    /// without materialising the completion at all — the admission gate's
+    /// and the optimal search's bound primitive.
+    pub fn chance_of(&mut self, prev: &Pmf, exec: &Pmf, deadline: Tick) -> f64 {
+        let ChainScratch { pairs, acc, raw, .. } = self;
+        push_products(&prev.impulses, &exec.impulses, deadline, pairs);
+        accumulate(pairs, acc, raw);
+        chance_before(raw, deadline)
+    }
+}
+
+/// Computes Eq (1) into a freshly allocated [`Pmf`] via the shared kernel.
+/// This is the body of [`crate::deadline_convolve`]; it lives here so the
+/// naive entry point and [`ChainScratch`] cannot drift apart.
+pub(crate) fn deadline_convolve_impl(prev: &Pmf, exec: &Pmf, deadline: Tick) -> Pmf {
+    let mut pairs: Vec<(Tick, f64)> =
+        Vec::with_capacity(product_capacity(prev.len(), exec.len().max(1)));
+    push_products(&prev.impulses, &exec.impulses, deadline, &mut pairs);
+    let mut acc = Vec::new();
+    let mut raw = Vec::new();
+    accumulate(&mut pairs, &mut acc, &mut raw);
+    Pmf::from_sorted_unchecked(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline_convolve;
+
+    fn bits(p: &Pmf) -> Vec<(Tick, u64)> {
+        p.iter().map(|i| (i.t, i.p.to_bits())).collect()
+    }
+
+    #[test]
+    fn step_pmf_matches_naive_pipeline_bitwise() {
+        let prev = Pmf::from_impulses(vec![(10, 0.6), (11, 0.3), (12, 0.05), (13, 0.05)]).unwrap();
+        let exec = Pmf::from_impulses(vec![(1, 0.6), (2, 0.4)]).unwrap();
+        let mut scratch = ChainScratch::new();
+        for compaction in [Compaction::None, Compaction::MaxImpulses(2), Compaction::BinWidth(3)] {
+            let raw = deadline_convolve(&prev, &exec, 13);
+            let naive = compaction.apply(&raw);
+            let (chance, fused) = scratch.step_pmf(&prev, &exec, 13, compaction);
+            assert_eq!(bits(&naive), bits(&fused));
+            assert_eq!(chance.to_bits(), raw.mass_before(13).to_bits());
+        }
+    }
+
+    #[test]
+    fn stepping_matches_repeated_naive_steps_bitwise() {
+        let base = Pmf::uniform(0, 40);
+        let exec = Pmf::from_impulses(vec![(8, 0.5), (16, 0.5)]).unwrap();
+        let compaction = Compaction::MaxImpulses(16);
+        let mut scratch = ChainScratch::new();
+        scratch.begin(&base);
+        let mut prev = base;
+        for k in 0..5u64 {
+            let deadline = 60 + 25 * k;
+            let raw = deadline_convolve(&prev, &exec, deadline);
+            let naive_chance = raw.mass_before(deadline);
+            prev = compaction.apply(&raw);
+            let chance = scratch.step(&exec, deadline, compaction);
+            assert_eq!(chance.to_bits(), naive_chance.to_bits(), "step {k}");
+            assert_eq!(bits(&prev), bits(&scratch.completion_pmf()), "step {k}");
+        }
+    }
+
+    #[test]
+    fn chance_of_matches_mass_before() {
+        let prev = Pmf::uniform(5, 60);
+        let exec = Pmf::from_impulses(vec![(3, 0.25), (9, 0.75)]).unwrap();
+        let mut scratch = ChainScratch::new();
+        for d in [0, 10, 35, 70, 200] {
+            let naive = deadline_convolve(&prev, &exec, d).mass_before(d);
+            assert_eq!(scratch.chance_of(&prev, &exec, d).to_bits(), naive.to_bits());
+        }
+    }
+
+    #[test]
+    fn one_shot_helpers_do_not_disturb_chain_state() {
+        let base = Pmf::point(5);
+        let exec = Pmf::point(10);
+        let mut scratch = ChainScratch::new();
+        scratch.begin(&base);
+        scratch.step(&exec, 100, Compaction::None);
+        let before = scratch.completion_pmf();
+        let _ = scratch.step_pmf(&Pmf::uniform(0, 9), &exec, 50, Compaction::MaxImpulses(4));
+        let _ = scratch.chance_of(&Pmf::uniform(0, 9), &exec, 50);
+        assert_eq!(before, scratch.completion_pmf());
+        assert_eq!(scratch.step(&exec, 100, Compaction::None), 1.0);
+        assert_eq!(scratch.completion_pmf(), Pmf::point(25));
+    }
+
+    #[test]
+    fn sparse_fallback_matches_naive() {
+        // Span far beyond DENSE_SPAN_LIMIT forces the coalesce path.
+        let prev = Pmf::from_impulses(vec![(0, 0.5), (200_000, 0.5)]).unwrap();
+        let exec = Pmf::from_impulses(vec![(1, 0.5), (100_000, 0.5)]).unwrap();
+        let mut scratch = ChainScratch::new();
+        let (chance, fused) = scratch.step_pmf(&prev, &exec, 150_000, Compaction::None);
+        let raw = deadline_convolve(&prev, &exec, 150_000);
+        assert_eq!(bits(&raw), bits(&fused));
+        assert_eq!(chance.to_bits(), raw.mass_before(150_000).to_bits());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut scratch = ChainScratch::new();
+        let (chance, out) = scratch.step_pmf(&Pmf::empty(), &Pmf::point(1), 10, Compaction::None);
+        assert_eq!(chance, 0.0);
+        assert!(out.is_empty());
+        scratch.begin(&Pmf::empty());
+        assert_eq!(scratch.step(&Pmf::point(1), 10, Compaction::None), 0.0);
+        assert!(scratch.completion().is_empty());
+    }
+}

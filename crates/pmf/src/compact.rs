@@ -42,39 +42,56 @@ impl Compaction {
     /// Applies the policy to `pmf`, returning a possibly-smaller PMF.
     #[must_use]
     pub fn apply(self, pmf: &Pmf) -> Pmf {
+        let mut out: Vec<Impulse> = Vec::with_capacity(pmf.len());
+        self.apply_into(&pmf.impulses, &mut out);
+        Pmf::from_sorted_unchecked(out)
+    }
+
+    /// Buffer-reusing twin of [`Compaction::apply`]: compacts the sorted,
+    /// coalesced `raw` impulses into `out` (cleared first). Shared by the
+    /// fused chain kernel ([`crate::ChainScratch`]) so the fused and naive
+    /// paths compact with bit-identical arithmetic.
+    pub(crate) fn apply_into(self, raw: &[Impulse], out: &mut Vec<Impulse>) {
         match self {
-            Compaction::None => pmf.clone(),
+            Compaction::None => copy_into(raw, out),
             Compaction::MaxImpulses(max) => {
                 assert!(max >= 2, "MaxImpulses requires max >= 2");
-                if pmf.len() <= max {
-                    return pmf.clone();
+                if raw.len() <= max {
+                    return copy_into(raw, out);
                 }
-                let lo = pmf.support_min().expect("non-empty: len > max >= 2");
-                let hi = pmf.support_max().expect("non-empty");
+                let lo = raw[0].t;
+                let hi = raw[raw.len() - 1].t;
                 let span = hi - lo + 1;
                 // ceil(span / max) guarantees at most `max` bins.
                 let width = span.div_ceil(max as Tick).max(1);
-                rebin(pmf, width)
+                rebin_into(raw, width, out);
             }
             Compaction::BinWidth(width) => {
                 assert!(width >= 1, "BinWidth requires width >= 1");
                 if width == 1 {
-                    return pmf.clone();
+                    return copy_into(raw, out);
                 }
-                rebin(pmf, width)
+                rebin_into(raw, width, out);
             }
         }
     }
 }
 
+fn copy_into(raw: &[Impulse], out: &mut Vec<Impulse>) {
+    out.clear();
+    out.extend_from_slice(raw);
+}
+
 /// Merges impulses into bins of `width` ticks anchored at the support
 /// minimum; each bin collapses to its mass-weighted mean tick (rounded to the
-/// nearest tick, which stays inside the bin).
-fn rebin(pmf: &Pmf, width: Tick) -> Pmf {
-    let Some(lo) = pmf.support_min() else {
-        return Pmf::empty();
+/// nearest tick, which stays inside the bin). Writes into `out` (cleared
+/// first).
+fn rebin_into(raw: &[Impulse], width: Tick, out: &mut Vec<Impulse>) {
+    out.clear();
+    let Some(first) = raw.first() else {
+        return;
     };
-    let mut out: Vec<Impulse> = Vec::with_capacity(pmf.len());
+    let lo = first.t;
     let mut bin_idx: Tick = 0;
     let mut bin_mass = 0.0f64;
     let mut bin_moment = 0.0f64; // sum of (t - lo) * p, kept small for accuracy
@@ -84,10 +101,10 @@ fn rebin(pmf: &Pmf, width: Tick) -> Pmf {
             out.push(Impulse { t: lo + mean_off, p: mass });
         }
     };
-    for i in pmf.iter() {
+    for i in raw {
         let idx = (i.t - lo) / width;
         if idx != bin_idx {
-            flush(&mut out, bin_mass, bin_moment);
+            flush(out, bin_mass, bin_moment);
             bin_idx = idx;
             bin_mass = 0.0;
             bin_moment = 0.0;
@@ -95,10 +112,9 @@ fn rebin(pmf: &Pmf, width: Tick) -> Pmf {
         bin_mass += i.p;
         bin_moment += (i.t - lo) as f64 * i.p;
     }
-    flush(&mut out, bin_mass, bin_moment);
+    flush(out, bin_mass, bin_moment);
     // Rounding the weighted mean keeps ticks inside their (half-open) bins,
     // and bins are processed in order, so the result is sorted and unique.
-    Pmf::from_sorted_unchecked(out)
 }
 
 #[cfg(test)]

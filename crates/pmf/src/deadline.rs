@@ -15,9 +15,23 @@
 //!
 //! The result is the completion-time PMF "of the task slot": a mixture of
 //! "task ran" and "task was dropped, slot freed at predecessor completion".
-//! Total mass is conserved exactly (the operation is a Markov kernel).
+//!
+//! **Mass contract.** The output's total mass is exactly
+//!
+//! ```text
+//!   |out| = |prev ≥ deadline| + |prev < deadline| · |exec|
+//! ```
+//!
+//! where `|·|` is total mass: pass-through mass survives verbatim, and
+//! on-time mass multiplies by `exec`'s mass (convolution of
+//! sub-distributions). When `exec` is a proper distribution (mass 1 — every
+//! PET matrix cell is) the operation is a Markov kernel and total mass is
+//! conserved exactly. A *sub*-normalised `exec` models a task that may never
+//! complete; in the degenerate empty-`exec` case the whole on-time branch is
+//! absorbed and only late predecessor mass passes through (see
+//! `empty_exec_passes_only_late_mass`).
 
-use crate::ops::coalesce;
+use crate::chain::deadline_convolve_impl;
 use crate::pmf::Pmf;
 use crate::Tick;
 
@@ -27,31 +41,28 @@ use crate::Tick;
 ///
 /// "Can start before the deadline" is the strict comparison `k < deadline`,
 /// consistent with [`Pmf::mass_before`] and Figure 2 of the paper.
+///
+/// Total mass follows the module-level mass contract: conserved exactly for
+/// a proper `exec`, scaled on the on-time branch for a sub-normalised one.
+///
+/// Colliding products are summed in *generation order* (ascending
+/// predecessor tick, then ascending execution tick) through the same fused
+/// kernel as [`crate::ChainScratch`], so naive and scratch-based chain
+/// evaluations are bit-identical.
 #[must_use]
 pub fn deadline_convolve(prev: &Pmf, exec: &Pmf, deadline: Tick) -> Pmf {
-    let mut out: Vec<(Tick, f64)> = Vec::with_capacity(prev.len() * exec.len().max(1));
-    deadline_convolve_into(prev, exec, deadline, &mut out);
-    coalesce(out)
+    deadline_convolve_impl(prev, exec, deadline)
 }
 
-/// Workhorse variant of [`deadline_convolve`] that appends raw
-/// `(tick, mass)` products into `out` (cleared first) so callers in hot loops
-/// can reuse the allocation. The caller still receives a coalesced [`Pmf`]
-/// from [`deadline_convolve`]; this function exists for the simulator's
-/// queue-chain computation.
+/// Variant of [`deadline_convolve`] that appends the raw `(tick, mass)`
+/// products into `out` (cleared first) so callers can reuse the allocation
+/// and control the accumulation themselves. This is the product generator
+/// behind both [`deadline_convolve`] and the fused chain kernel
+/// ([`crate::ChainScratch`]); the append order (ascending predecessor tick,
+/// then ascending execution tick) is the canonical summation order of the
+/// determinism contract.
 pub fn deadline_convolve_into(prev: &Pmf, exec: &Pmf, deadline: Tick, out: &mut Vec<(Tick, f64)>) {
-    out.clear();
-    for pi in prev.iter() {
-        if pi.t < deadline {
-            // Task starts at pi.t; completion = start + execution time.
-            for ei in exec.iter() {
-                out.push((pi.t + ei.t, pi.p * ei.p));
-            }
-        } else {
-            // Reactive drop: machine is free at the predecessor's completion.
-            out.push((pi.t, pi.p));
-        }
-    }
+    crate::chain::push_products(&prev.impulses, &exec.impulses, deadline, out);
 }
 
 /// Chance of success (Equation (2)): probability that a task with
@@ -150,10 +161,27 @@ mod tests {
     #[test]
     fn empty_exec_passes_only_late_mass() {
         // Degenerate: a task with no execution-time model contributes nothing
-        // for on-time branches; late branches still pass through.
+        // for on-time branches; late branches still pass through. This is the
+        // module-level mass contract with |exec| = 0.
         let prev = Pmf::from_impulses(vec![(5, 0.5), (20, 0.5)]).unwrap();
         let c = deadline_convolve(&prev, &Pmf::empty(), 10);
         assert_eq!(c.to_pairs(), vec![(20, 0.5)]);
+        let expected = prev.mass_at_or_after(10) + prev.mass_before(10) * 0.0;
+        assert!(close(c.total_mass(), expected));
+    }
+
+    /// The module-level mass contract for a sub-normalised `exec`:
+    /// `|out| = |prev >= d| + |prev < d| * |exec|`.
+    #[test]
+    fn subnormal_exec_scales_only_on_time_mass() {
+        let prev = Pmf::from_impulses(vec![(0, 0.25), (10, 0.25), (20, 0.5)]).unwrap();
+        let exec = Pmf::point(3).scale_mass(0.6);
+        for deadline in [0, 5, 15, 25] {
+            let c = deadline_convolve(&prev, &exec, deadline);
+            let expected =
+                prev.mass_at_or_after(deadline) + prev.mass_before(deadline) * exec.total_mass();
+            assert!(close(c.total_mass(), expected), "deadline={deadline}");
+        }
     }
 
     /// Dropping the predecessor (replacing `prev` by something stochastically

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod chain;
 mod compact;
 mod deadline;
 mod error;
@@ -44,10 +45,11 @@ mod moments;
 mod ops;
 mod pmf;
 
+pub use chain::ChainScratch;
 pub use compact::Compaction;
 pub use deadline::{chance_of_success, deadline_convolve, deadline_convolve_into};
 pub use error::PmfError;
-pub use ops::conv_budget;
+pub use ops::{conv_budget, convolve_dense_forced, convolve_sparse_forced, DENSE_SPAN_LIMIT};
 pub use pmf::{Impulse, Pmf, MASS_EPSILON};
 
 /// Discrete simulation time, in ticks (1 tick = 1 ms in the simulator).

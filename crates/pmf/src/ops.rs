@@ -8,15 +8,36 @@ use crate::Tick;
 /// A dense accumulation costs `O(span + n*m)` with perfect cache behaviour; a
 /// sparse accumulation costs `O(n*m log(n*m))`. For the queue-length and
 /// impulse-count regimes of the simulator (spans of a few thousand ticks) the
-/// dense path is almost always selected.
-const DENSE_SPAN_LIMIT: u64 = 1 << 16;
+/// dense path is almost always selected. The same split drives the fused
+/// chain kernel ([`crate::ChainScratch`]), so both paths stay bit-identical.
+pub const DENSE_SPAN_LIMIT: u64 = 1 << 16;
 
-/// Number of elementary multiply-accumulate operations a convolution of two
-/// PMFs with `a_len` and `b_len` impulses performs (factor *B* of the paper's
-/// Section IV-F complexity analysis). Exposed for benchmarks.
+/// Number of elementary operations a convolution of two PMFs with `a_len`
+/// and `b_len` impulses and result support span `span` performs (factor *B*
+/// of the paper's Section IV-F complexity analysis). Exposed for benchmarks.
+///
+/// The dense path does `a_len * b_len` multiply-accumulates **plus** a
+/// `span`-cell zero-and-sweep of the accumulator; the sparse path does the
+/// products and then sorts them (the `log` factor is not counted — budgets
+/// are lower bounds on elementary touches, not cycle predictions). Pass the
+/// result span `hi - lo + 1`; spans above [`DENSE_SPAN_LIMIT`] select the
+/// sparse path. Saturates instead of overflowing.
 #[must_use]
-pub fn conv_budget(a_len: usize, b_len: usize) -> usize {
-    a_len * b_len
+pub fn conv_budget(a_len: usize, b_len: usize, span: u64) -> u64 {
+    let products = (a_len as u64).saturating_mul(b_len as u64);
+    if span <= DENSE_SPAN_LIMIT {
+        products.saturating_add(span)
+    } else {
+        products
+    }
+}
+
+/// Capacity hint for buffers holding up to `a * b` raw products: saturating
+/// (a 32-bit host must not overflow `usize`) and capped so a pathological
+/// impulse-count product cannot trigger a giant up-front allocation — the
+/// buffer grows organically past the cap instead.
+pub(crate) fn product_capacity(a: usize, b: usize) -> usize {
+    a.saturating_mul(b).min(1 << 20)
 }
 
 impl Pmf {
@@ -130,7 +151,7 @@ fn convolve_dense(a: &[Impulse], b: &[Impulse], lo: Tick, span: usize) -> Pmf {
 }
 
 fn convolve_sparse(a: &[Impulse], b: &[Impulse]) -> Pmf {
-    let mut pairs: Vec<(Tick, f64)> = Vec::with_capacity(a.len() * b.len());
+    let mut pairs: Vec<(Tick, f64)> = Vec::with_capacity(product_capacity(a.len(), b.len()));
     for ai in a {
         for bi in b {
             pairs.push((ai.t + bi.t, ai.p * bi.p));
@@ -139,20 +160,56 @@ fn convolve_sparse(a: &[Impulse], b: &[Impulse]) -> Pmf {
     coalesce(pairs)
 }
 
+/// Forces the dense convolution path regardless of span. Exposed for the
+/// cross-validation property tests and benchmarks; production code should
+/// call [`Pmf::convolve`], which picks the path by [`DENSE_SPAN_LIMIT`].
+#[doc(hidden)]
+#[must_use]
+pub fn convolve_dense_forced(a: &Pmf, b: &Pmf) -> Pmf {
+    if a.is_empty() || b.is_empty() {
+        return Pmf::empty();
+    }
+    let (a, b) = (&a.impulses, &b.impulses);
+    let lo = a[0].t + b[0].t;
+    let hi = a[a.len() - 1].t + b[b.len() - 1].t;
+    convolve_dense(a, b, lo, (hi - lo + 1) as usize)
+}
+
+/// Forces the sparse convolution path regardless of span. Exposed for the
+/// cross-validation property tests and benchmarks; production code should
+/// call [`Pmf::convolve`], which picks the path by [`DENSE_SPAN_LIMIT`].
+#[doc(hidden)]
+#[must_use]
+pub fn convolve_sparse_forced(a: &Pmf, b: &Pmf) -> Pmf {
+    if a.is_empty() || b.is_empty() {
+        return Pmf::empty();
+    }
+    convolve_sparse(&a.impulses, &b.impulses)
+}
+
 /// Sorts `(tick, mass)` pairs and merges equal ticks into a valid `Pmf`.
 pub(crate) fn coalesce(mut pairs: Vec<(Tick, f64)>) -> Pmf {
-    pairs.sort_unstable_by_key(|&(t, _)| t);
     let mut impulses: Vec<Impulse> = Vec::with_capacity(pairs.len());
-    for (t, p) in pairs {
+    coalesce_into(&mut pairs, &mut impulses);
+    Pmf::from_sorted_unchecked(impulses)
+}
+
+/// Buffer-reusing workhorse of [`coalesce`]: sorts `pairs` in place and
+/// merges equal ticks into `out` (cleared first), leaving `pairs` empty.
+/// Shared by the sparse fallback of the fused chain kernel.
+pub(crate) fn coalesce_into(pairs: &mut Vec<(Tick, f64)>, out: &mut Vec<Impulse>) {
+    pairs.sort_unstable_by_key(|&(t, _)| t);
+    out.clear();
+    for &(t, p) in pairs.iter() {
         if p <= 0.0 {
             continue;
         }
-        match impulses.last_mut() {
+        match out.last_mut() {
             Some(last) if last.t == t => last.p += p,
-            _ => impulses.push(Impulse { t, p }),
+            _ => out.push(Impulse { t, p }),
         }
     }
-    Pmf::from_sorted_unchecked(impulses)
+    pairs.clear();
 }
 
 #[cfg(test)]
@@ -311,7 +368,29 @@ mod tests {
     }
 
     #[test]
-    fn conv_budget_reports_products() {
-        assert_eq!(conv_budget(8, 16), 128);
+    fn conv_budget_counts_span_scan_on_the_dense_path() {
+        // Dense: products plus the zero-and-sweep of the span buffer.
+        assert_eq!(conv_budget(8, 16, 400), 128 + 400);
+        // Sparse (span above the limit): products only.
+        assert_eq!(conv_budget(8, 16, DENSE_SPAN_LIMIT + 1), 128);
+        // Saturates instead of overflowing.
+        assert_eq!(conv_budget(usize::MAX, usize::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn forced_paths_agree_with_convolve() {
+        let a = Pmf::uniform(0, 30);
+        let b = Pmf::from_impulses(vec![(5, 0.25), (40, 0.75)]).unwrap();
+        let auto = a.convolve(&b);
+        let dense = convolve_dense_forced(&a, &b);
+        let sparse = convolve_sparse_forced(&a, &b);
+        assert_eq!(auto, dense);
+        assert_eq!(dense.len(), sparse.len());
+        for (d, s) in dense.iter().zip(sparse.iter()) {
+            assert_eq!(d.t, s.t);
+            assert!(close(d.p, s.p));
+        }
+        assert!(convolve_dense_forced(&Pmf::empty(), &a).is_empty());
+        assert!(convolve_sparse_forced(&a, &Pmf::empty()).is_empty());
     }
 }

@@ -1,7 +1,10 @@
 //! Property-based tests for the PMF toolkit.
 
 use proptest::prelude::*;
-use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
+use taskdrop_pmf::{
+    chance_of_success, convolve_dense_forced, convolve_sparse_forced, deadline_convolve,
+    Compaction, Pmf, Tick, DENSE_SPAN_LIMIT,
+};
 
 const EPS: f64 = 1e-9;
 
@@ -11,6 +14,16 @@ fn arb_pmf() -> impl Strategy<Value = Pmf> {
         let weights: Vec<(Tick, f64)> = pairs.into_iter().map(|(t, w)| (t, w as f64)).collect();
         Pmf::from_weights(weights).expect("positive weights")
     })
+}
+
+/// Strategy: a normalised PMF whose support can reach past
+/// `DENSE_SPAN_LIMIT`, so convolutions straddle the dense/sparse split.
+fn arb_wide_pmf() -> impl Strategy<Value = Pmf> {
+    prop::collection::vec((0u64..=DENSE_SPAN_LIMIT + DENSE_SPAN_LIMIT / 4, 1u32..=1000), 1..=8)
+        .prop_map(|pairs| {
+            let weights: Vec<(Tick, f64)> = pairs.into_iter().map(|(t, w)| (t, w as f64)).collect();
+            Pmf::from_weights(weights).expect("positive weights")
+        })
 }
 
 /// Strategy: a sub-normalised PMF (mass in (0, 1]).
@@ -106,6 +119,28 @@ proptest! {
             // P(C < t) <= P(prev < t): completion is stochastically later.
             prop_assert!(c.mass_before(t) <= prev.mass_before(t) + EPS);
         }
+    }
+
+    /// The dense and sparse convolution paths agree on PMFs whose spans
+    /// straddle `DENSE_SPAN_LIMIT`, so `Pmf::convolve`'s path selection is
+    /// unobservable (up to float association error from the different
+    /// summation orders).
+    #[test]
+    fn dense_and_sparse_convolution_agree_across_the_span_split(
+        a in arb_wide_pmf(),
+        b in arb_wide_pmf(),
+    ) {
+        let dense = convolve_dense_forced(&a, &b);
+        let sparse = convolve_sparse_forced(&a, &b);
+        prop_assert_eq!(dense.len(), sparse.len());
+        for (d, s) in dense.iter().zip(sparse.iter()) {
+            prop_assert_eq!(d.t, s.t);
+            prop_assert!((d.p - s.p).abs() < EPS);
+        }
+        let auto = a.convolve(&b);
+        let span = auto.support_max().unwrap() - auto.support_min().unwrap() + 1;
+        let reference = if span <= DENSE_SPAN_LIMIT { &dense } else { &sparse };
+        prop_assert_eq!(&auto, reference);
     }
 
     #[test]

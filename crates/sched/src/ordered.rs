@@ -8,8 +8,8 @@
 //! types).
 
 use crate::MappingHeuristic;
+use taskdrop_model::queue::{ChainEvaluator, ChainTask};
 use taskdrop_model::view::{Assignment, MappingInput};
-use taskdrop_pmf::deadline_convolve;
 
 /// The sort key an [`OrderedHeuristic`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +76,7 @@ impl MappingHeuristic for OrderedHeuristic {
         let mut tail_means: Vec<f64> =
             machines.iter().map(|m| m.tail.mean().unwrap_or(now as f64)).collect();
         let mut out = Vec::new();
+        let mut eval = ChainEvaluator::new();
         for idx in order {
             let task = &unmapped[idx];
             // Earliest expected completion among machines with a free slot.
@@ -91,8 +92,8 @@ impl MappingHeuristic for OrderedHeuristic {
             }
             let Some((mi, _)) = best else { break };
             let exec = pet.pmf(task.type_id, machines[mi].machine_type);
-            let tail =
-                compaction.apply(&deadline_convolve(&machines[mi].tail, exec, task.deadline));
+            let step = ChainTask { deadline: task.deadline, exec };
+            let (_, tail) = eval.step_from(&machines[mi].tail, step, compaction);
             tail_means[mi] = tail.mean().unwrap_or(tail_means[mi]);
             machines[mi].tail = tail;
             machines[mi].free_slots -= 1;

@@ -24,9 +24,10 @@
 //! below the deadline can only come from on-time starts.
 
 use crate::MappingHeuristic;
+use taskdrop_model::queue::{ChainEvaluator, ChainTask};
 use taskdrop_model::view::{Assignment, MachineView, MappingInput, UnmappedView};
 use taskdrop_model::PetMatrix;
-use taskdrop_pmf::{deadline_convolve, Compaction, Pmf};
+use taskdrop_pmf::{Compaction, Pmf};
 
 /// Which two-phase heuristic to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +124,8 @@ struct WorkState<'a> {
     /// machine's tail changes. Only PAM populates this.
     convs: Vec<Option<Pmf>>,
     types: usize,
+    /// Fused tail-extension scratch (one materialisation per assignment).
+    eval: ChainEvaluator,
 }
 
 impl<'a> WorkState<'a> {
@@ -138,6 +141,7 @@ impl<'a> WorkState<'a> {
             machines,
             tail_means,
             types,
+            eval: ChainEvaluator::new(),
         }
     }
 
@@ -156,8 +160,8 @@ impl<'a> WorkState<'a> {
 
     fn assign(&mut self, mi: usize, task: &UnmappedView) {
         let exec = self.pet.pmf(task.type_id, self.machines[mi].machine_type);
-        let raw = deadline_convolve(&self.machines[mi].tail, exec, task.deadline);
-        let tail = self.compaction.apply(&raw);
+        let step = ChainTask { deadline: task.deadline, exec };
+        let (_, tail) = self.eval.step_from(&self.machines[mi].tail, step, self.compaction);
         self.tail_means[mi] = tail.mean().unwrap_or(self.tail_means[mi]);
         self.machines[mi].tail = tail;
         self.machines[mi].free_slots -= 1;

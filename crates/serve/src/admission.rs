@@ -27,7 +27,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use taskdrop_model::{MachineTypeId, PetMatrix};
-use taskdrop_pmf::{chance_of_success, deadline_convolve, Pmf, Tick};
+use taskdrop_pmf::{ChainScratch, Pmf, Tick};
 use taskdrop_sim::{AdmissionDropKind, SimCore, SimError, SimEvent};
 use taskdrop_workload::OfferedTask;
 
@@ -338,11 +338,14 @@ impl QueueTails {
     #[must_use]
     pub fn best_chance(&self, pet: &PetMatrix, now: Tick, task: &OfferedTask) -> f64 {
         let deadline = now + task.deadline.saturating_sub(task.arrival);
+        // Fused Eq 1 + Eq 2: the chance is summed during the convolution
+        // sweep, so no completion PMF is ever materialised; one scratch
+        // serves the whole cluster scan.
+        let mut scratch = ChainScratch::new();
         let mut best = 0.0f64;
         for (machine_type, tail) in &self.tails {
             let exec = pet.pmf(task.type_id, *machine_type);
-            let completion = deadline_convolve(tail, exec, deadline);
-            best = best.max(chance_of_success(&completion, deadline));
+            best = best.max(scratch.chance_of(tail, exec, deadline));
         }
         best
     }

@@ -572,7 +572,15 @@ impl<'a> SimCore<'a> {
     #[must_use]
     pub fn queue_tail_estimate(&self, machine: MachineId) -> Option<Pmf> {
         let m = self.machines.get(machine.index())?;
-        Some(queue_tail(&self.scenario.pet, self.approx_pet.as_ref(), self.now, m, self.config))
+        let mut eval = qchain::ChainEvaluator::new();
+        Some(queue_tail(
+            &self.scenario.pet,
+            self.approx_pet.as_ref(),
+            self.now,
+            m,
+            self.config,
+            &mut eval,
+        ))
     }
 
     /// Whether `machine` is currently down (failure injection): a down
@@ -976,6 +984,8 @@ impl<'a> SimCore<'a> {
 
         // (3) Mapping heuristic fills free slots from the batch queue.
         if !batch.is_empty() {
+            // One fused evaluator serves every machine's tail chain.
+            let mut tail_eval = qchain::ChainEvaluator::new();
             let machine_views: Vec<MachineView> = machines
                 .iter()
                 .map(|m| {
@@ -992,7 +1002,7 @@ impl<'a> SimCore<'a> {
                     let tail = if free_slots == 0 {
                         Pmf::point(now)
                     } else {
-                        queue_tail(pet, approx_pet, now, m, config)
+                        queue_tail(pet, approx_pet, now, m, config, &mut tail_eval)
                     };
                     MachineView {
                         machine: m.machine.id,
@@ -1394,13 +1404,16 @@ fn self_kill_applies(config: SimConfig, r: &RunningTask, now: Tick) -> bool {
 }
 
 /// Completion PMF of the queue tail: where a newly appended task would wait.
-/// Degraded entries chain with the degraded PET.
+/// Degraded entries chain with the degraded PET. `eval` supplies the fused
+/// chain scratch; one evaluator is shared across a whole mapping event so
+/// the buffers warm up once per event.
 fn queue_tail(
     pet: &PetMatrix,
     approx_pet: Option<&PetMatrix>,
     now: Tick,
     m: &MachineSt,
     config: SimConfig,
+    eval: &mut qchain::ChainEvaluator,
 ) -> Pmf {
     let base = match running_view(pet, now, m, config) {
         Some(r) => r.completion,
@@ -1420,8 +1433,7 @@ fn queue_tail(
             }
         })
         .collect();
-    let links = qchain::chain(&base, &tasks, config.compaction);
-    links.last().expect("non-empty pending").completion.clone()
+    eval.tail(&base, &tasks, config.compaction)
 }
 
 #[cfg(test)]
