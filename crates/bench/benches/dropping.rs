@@ -6,6 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use taskdrop_core::{DropPolicy, OptimalDropper, ProactiveDropper, ThresholdDropper};
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::view::{DropContext, PendingView, QueueView};
 use taskdrop_model::{MachineId, MachineTypeId, PetMatrix, TaskId, TaskTypeId};
 use taskdrop_pmf::{Compaction, Pmf};
@@ -41,25 +42,27 @@ fn queue(pet: &PetMatrix, q: usize) -> QueueView<'_> {
 fn bench_policies(c: &mut Criterion) {
     let pet = pet();
     let ctx = DropContext { compaction: Compaction::MaxImpulses(64), pressure: 1.0, approx: None };
+    // Persistent context, as the engine drives policies in production.
+    let mut scratch = PolicyCtx::new();
     let mut group = c.benchmark_group("drop_decision");
     group.sample_size(20).measurement_time(Duration::from_secs(2));
     for q in [2usize, 4, 6, 8] {
         let view = queue(&pet, q);
         let heuristic = ProactiveDropper::paper_default();
         group.bench_with_input(BenchmarkId::new("heuristic_eta2", q), &q, |b, _| {
-            b.iter(|| black_box(heuristic.select_drops(&view, &ctx)));
+            b.iter(|| black_box(heuristic.select_drops(&view, &ctx, &mut scratch)));
         });
         let optimal = OptimalDropper::new();
         group.bench_with_input(BenchmarkId::new("optimal_pruned", q), &q, |b, _| {
-            b.iter(|| black_box(optimal.select_drops(&view, &ctx)));
+            b.iter(|| black_box(optimal.select_drops(&view, &ctx, &mut scratch)));
         });
         let plain = OptimalDropper::without_pruning();
         group.bench_with_input(BenchmarkId::new("optimal_exhaustive", q), &q, |b, _| {
-            b.iter(|| black_box(plain.select_drops(&view, &ctx)));
+            b.iter(|| black_box(plain.select_drops(&view, &ctx, &mut scratch)));
         });
         let threshold = ThresholdDropper::paper_default();
         group.bench_with_input(BenchmarkId::new("threshold", q), &q, |b, _| {
-            b.iter(|| black_box(threshold.select_drops(&view, &ctx)));
+            b.iter(|| black_box(threshold.select_drops(&view, &ctx, &mut scratch)));
         });
     }
     group.finish();

@@ -35,6 +35,8 @@ fn batch(n: usize) -> Vec<UnmappedView> {
 
 fn bench_mappers(c: &mut Criterion) {
     let scenario = Scenario::specint(0xA5);
+    // Persistent context, as the engine drives mappers in production.
+    let mut scratch = taskdrop_model::ctx::PolicyCtx::new();
     let mut group = c.benchmark_group("mapping_event");
     group.sample_size(20).measurement_time(Duration::from_secs(2));
     for n in [10usize, 50, 200] {
@@ -51,7 +53,7 @@ fn bench_mappers(c: &mut Criterion) {
                         unmapped: &unmapped,
                         compaction: Compaction::MaxImpulses(64),
                     };
-                    black_box(mapper.map(input))
+                    black_box(mapper.map(input, &mut scratch))
                 });
             });
         }

@@ -19,6 +19,7 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use taskdrop_core::{DropDecision, DropPolicy, ProactiveDropper};
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::view::{DropContext, QueueView};
 use taskdrop_sched::Pam;
 use taskdrop_sim::{SimConfig, SimCore, StepOutcome};
@@ -43,9 +44,14 @@ impl<P: DropPolicy> DropPolicy for TimedDropper<P> {
         self.inner.name()
     }
 
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision {
         let start = Instant::now();
-        let decision = self.inner.select_drops(queue, ctx);
+        let decision = self.inner.select_drops(queue, ctx, scratch);
         self.nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.calls.fetch_add(1, Ordering::Relaxed);
         decision
@@ -70,6 +76,7 @@ struct BenchReport {
     steps_per_sec: f64,
     drop_decision: DropDecisionReport,
     robustness_pct: f64,
+    work: WorkReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -77,6 +84,17 @@ struct DropDecisionReport {
     calls: u64,
     total_ms: f64,
     mean_us: f64,
+}
+
+/// Deterministic PET×tail cache work counters (`SimCore::cache_stats`):
+/// they must reproduce exactly at the fixed seed, so CI fails on any
+/// drift vs the committed quick baseline.
+#[derive(Debug, Serialize)]
+struct WorkReport {
+    tail_cache_hits: u64,
+    tail_cache_misses: u64,
+    conv_cache_hits: u64,
+    conv_cache_misses: u64,
 }
 
 fn main() {
@@ -115,6 +133,7 @@ fn main() {
 
     let calls = dropper.calls.load(Ordering::Relaxed);
     let drop_nanos = dropper.nanos.load(Ordering::Relaxed);
+    let cache = core.cache_stats();
     let report = BenchReport {
         bench: "bench_core".into(),
         scale: if quick { "quick" } else { "full" }.into(),
@@ -135,6 +154,12 @@ fn main() {
             mean_us: if calls == 0 { 0.0 } else { drop_nanos as f64 / 1e3 / calls as f64 },
         },
         robustness_pct: result.robustness_pct(),
+        work: WorkReport {
+            tail_cache_hits: cache.tail_hits,
+            tail_cache_misses: cache.tail_misses,
+            conv_cache_hits: cache.conv_hits,
+            conv_cache_misses: cache.conv_misses,
+        },
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -150,6 +175,13 @@ fn main() {
     println!(
         "drop decisions: {} calls, {:.1} ms total, {:.1} us mean | robustness {:.1} %",
         calls, report.drop_decision.total_ms, report.drop_decision.mean_us, report.robustness_pct
+    );
+    println!(
+        "cache: tail {}/{} hits, conv {}/{} hits",
+        cache.tail_hits,
+        cache.tail_hits + cache.tail_misses,
+        cache.conv_hits,
+        cache.conv_hits + cache.conv_misses
     );
     println!("wrote {out}");
 }

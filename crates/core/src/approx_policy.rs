@@ -24,7 +24,8 @@
 //! *exactly* to [`ProactiveDropper`] (tested).
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::{ChainEvaluator, ChainLink, ChainTask, LazyChain};
+use taskdrop_model::ctx::PolicyCtx;
+use taskdrop_model::queue::{ChainLink, ChainTask};
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// Proactive dropping with degradation to approximate task variants.
@@ -66,7 +67,12 @@ impl DropPolicy for ApproxDropper {
         "Approx"
     }
 
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision {
         let mut tasks: Vec<ChainTask<'_>> = queue.chain_tasks();
         let n = tasks.len();
         if n < 2 {
@@ -87,11 +93,12 @@ impl DropPolicy for ApproxDropper {
         let base = queue.base();
         let mut drops = Vec::new();
         let mut degrades = Vec::new();
-        // Lazily extended baseline + probe evaluators, exactly as in
-        // `ProactiveDropper::select_drops` (prefix reuse, DESIGN.md §12);
-        // the baseline reflects the current survivor/fidelity set.
-        let mut baseline = LazyChain::begin(&base);
-        let mut probe = ChainEvaluator::new();
+        // Lazily extended baseline + probe evaluators from the persistent
+        // context, exactly as in `ProactiveDropper::select_drops` (prefix
+        // reuse, DESIGN.md §12); the baseline reflects the current
+        // survivor/fidelity set.
+        let PolicyCtx { baseline, probe, .. } = scratch;
+        baseline.reset(&base);
         let mut prev = base;
         for i in 0..n - 1 {
             let window_end = (i + 1 + self.eta).min(n);
@@ -170,8 +177,8 @@ mod tests {
         ];
         for pendings in queues {
             let q = idle_queue(&pet, 0, pendings);
-            let a = ApproxDropper::paper_default().select_drops(&q, &ctx_with(None));
-            let p = ProactiveDropper::paper_default().select_drops(&q, &ctx_with(None));
+            let a = ApproxDropper::paper_default().select_drops_fresh(&q, &ctx_with(None));
+            let p = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx_with(None));
             assert_eq!(a.drops, p.drops);
             assert!(a.degrades.is_empty());
         }
@@ -192,7 +199,7 @@ mod tests {
             approx_pet: Some(&apet),
             ..idle_queue(&pet, 0, vec![pending(1, 1, 30), pending(2, 0, 25)])
         };
-        let d = ApproxDropper::paper_default().select_drops(&q, &ctx_with(Some(spec)));
+        let d = ApproxDropper::paper_default().select_drops_fresh(&q, &ctx_with(Some(spec)));
         assert_eq!(d.degrades, vec![0]);
         assert!(d.drops.is_empty());
     }
@@ -209,7 +216,7 @@ mod tests {
             approx_pet: Some(&apet),
             ..idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 30)])
         };
-        let d = ApproxDropper::paper_default().select_drops(&q, &ctx_with(Some(spec)));
+        let d = ApproxDropper::paper_default().select_drops_fresh(&q, &ctx_with(Some(spec)));
         assert_eq!(d.drops, vec![0]);
         assert!(d.degrades.is_empty());
     }
@@ -223,7 +230,7 @@ mod tests {
             approx_pet: Some(&apet),
             ..idle_queue(&pet, 0, vec![pending(1, 1, 60), pending(2, 0, 70)])
         };
-        let d = ApproxDropper::paper_default().select_drops(&q, &ctx_with(Some(spec)));
+        let d = ApproxDropper::paper_default().select_drops_fresh(&q, &ctx_with(Some(spec)));
         assert!(d.is_empty());
     }
 
@@ -235,7 +242,7 @@ mod tests {
         let mut pendings = vec![pending(1, 1, 30), pending(2, 0, 25)];
         pendings[0].degraded = true; // already approximate
         let q = QueueView { approx_pet: Some(&apet), ..idle_queue(&pet, 0, pendings) };
-        let d = ApproxDropper::paper_default().select_drops(&q, &ctx_with(Some(spec)));
+        let d = ApproxDropper::paper_default().select_drops_fresh(&q, &ctx_with(Some(spec)));
         assert!(!d.degrades.contains(&0), "cannot degrade twice: {d:?}");
     }
 }

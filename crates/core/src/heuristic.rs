@@ -41,7 +41,7 @@
 //! formulation; only allocation and re-chaining are removed.
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::{ChainEvaluator, LazyChain};
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// The autonomous proactive dropping heuristic.
@@ -96,7 +96,12 @@ impl DropPolicy for ProactiveDropper {
         "Heuristic"
     }
 
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision {
         let tasks = queue.chain_tasks();
         let n = tasks.len();
         if n < 2 {
@@ -110,9 +115,11 @@ impl DropPolicy for ProactiveDropper {
         // convolutions (the drop-branch) instead of 2η+2 — the O(η·q)
         // bound of Section IV-F. `LazyChain` extends it only as far as the
         // current keep-window needs, so a confirmed drop re-chains at most
-        // one window instead of the whole suffix.
-        let mut baseline = LazyChain::begin(&base);
-        let mut probe = ChainEvaluator::new();
+        // one window instead of the whole suffix. Both evaluators come from
+        // the persistent context: the buffers are warm from previous calls,
+        // the arithmetic is untouched.
+        let PolicyCtx { baseline, probe, .. } = scratch;
+        baseline.reset(&base);
         // Completion PMF of the latest surviving predecessor.
         let mut prev = base;
         for i in 0..n - 1 {
@@ -151,7 +158,7 @@ mod tests {
     fn empty_queue_no_drops() {
         let pet = pet();
         let q = idle_queue(&pet, 0, vec![]);
-        assert!(ProactiveDropper::paper_default().select_drops(&q, &ctx()).is_empty());
+        assert!(ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx()).is_empty());
     }
 
     #[test]
@@ -159,7 +166,7 @@ mod tests {
         let pet = pet();
         // Hopeless deadline, but it is the last task: influence zone empty.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 5)]);
-        assert!(ProactiveDropper::paper_default().select_drops(&q, &ctx()).is_empty());
+        assert!(ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx()).is_empty());
     }
 
     #[test]
@@ -170,7 +177,7 @@ mod tests {
         // 60 (chance 0); alone it completes at 10 (chance 1). Dropping the
         // blocker gains 1.0 > beta * 0.0.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 30)]);
-        let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
+        let d = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx());
         assert_eq!(d.drops, vec![0]);
     }
 
@@ -180,7 +187,7 @@ mod tests {
         // Task 1 (exec 50, deadline 60): chance 1. Task 2 (exec 10,
         // deadline 70): completes at 60 < 70, chance 1. Nothing to gain.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 60), pending(2, 0, 70)]);
-        assert!(ProactiveDropper::paper_default().select_drops(&q, &ctx()).is_empty());
+        assert!(ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx()).is_empty());
     }
 
     #[test]
@@ -193,7 +200,7 @@ mod tests {
         // certainly keeps it.
         let q = idle_queue(&pet, 0, vec![pending(1, 2, 45), pending(2, 0, 35)]);
         let conservative = ProactiveDropper::new(1e12, 2);
-        assert!(conservative.select_drops(&q, &ctx()).is_empty());
+        assert!(conservative.select_drops_fresh(&q, &ctx()).is_empty());
         // With beta = 1 and a slightly *bigger* gain (tighten the follower
         // deadline to 31 so the blocked chance drops to 0.5 while... keep
         // the construction simple: widen gain by making the blocker's own
@@ -203,7 +210,7 @@ mod tests {
         // Blocker chance: 20<85 and 80<85 -> 1.0; follower blocked: done at
         // 30 (.5) or 90 (.5) -> 0.5; alone -> 1.0. Gain 0.5 < loss 1.0+0.5:
         // no drop at any beta >= 1. Sanity only.
-        assert!(ProactiveDropper::new(1.0, 2).select_drops(&q2, &ctx()).is_empty());
+        assert!(ProactiveDropper::new(1.0, 2).select_drops_fresh(&q2, &ctx()).is_empty());
     }
 
     #[test]
@@ -212,7 +219,7 @@ mod tests {
         // Literal Eq 8: keep-future chance 0 means any gain wins at any beta.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 30)]);
         let conservative = ProactiveDropper::new(1e12, 2);
-        assert_eq!(conservative.select_drops(&q, &ctx()).drops, vec![0]);
+        assert_eq!(conservative.select_drops_fresh(&q, &ctx()).drops, vec![0]);
     }
 
     #[test]
@@ -222,7 +229,7 @@ mod tests {
         // false), so Eq 8 keeps it; the engine's reactive dropping will
         // handle them as their deadlines pass.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 10), pending(2, 1, 10)]);
-        assert!(ProactiveDropper::paper_default().select_drops(&q, &ctx()).is_empty());
+        assert!(ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx()).is_empty());
     }
 
     #[test]
@@ -262,9 +269,9 @@ mod tests {
         };
         let q = mk(&pet);
         let shallow = ProactiveDropper::new(1.0, 1);
-        assert!(shallow.select_drops(&q, &ctx()).is_empty(), "eta=1 misses the depth-2 gain");
+        assert!(shallow.select_drops_fresh(&q, &ctx()).is_empty(), "eta=1 misses the depth-2 gain");
         let deep = ProactiveDropper::new(1.0, 2);
-        assert_eq!(deep.select_drops(&q, &ctx()).drops, vec![0], "eta=2 sees it");
+        assert_eq!(deep.select_drops_fresh(&q, &ctx()).drops, vec![0], "eta=2 sees it");
     }
 
     #[test]
@@ -274,7 +281,7 @@ mod tests {
         // influence zone is empty).
         let q =
             idle_queue(&pet, 0, vec![pending(1, 0, 1000), pending(2, 0, 1000), pending(3, 1, 5)]);
-        let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
+        let d = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx());
         assert!(!d.drops.contains(&2));
     }
 
@@ -284,7 +291,7 @@ mod tests {
         // A doomed huge task followed by two viable ones; after dropping the
         // blocker the survivors are fine and must not be dropped.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 40), pending(3, 0, 40)]);
-        let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
+        let d = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx());
         assert_eq!(d.drops, vec![0]);
     }
 
@@ -297,7 +304,7 @@ mod tests {
         // through (never starts), so Y completes at 110 < 115 either way;
         // no gain, no drop.)
         let q = busy_queue(&pet, 0, 100, 1000, vec![pending(1, 0, 50), pending(2, 0, 115)]);
-        let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
+        let d = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx());
         assert!(d.is_empty(), "pass-through already neutralises the doomed task");
         // But with a *stochastic* runner the doomed task can hurt: runner
         // finishes at 40 w.p. 0.5 (X starts, occupying until 50) or at 100.
@@ -326,7 +333,7 @@ mod tests {
             pending: vec![pending(1, 0, 50), pending(2, 0, 51)],
             ..q
         };
-        let d = ProactiveDropper::paper_default().select_drops(&q, &ctx());
+        let d = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx());
         assert_eq!(d.drops, vec![0]);
     }
 

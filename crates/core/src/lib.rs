@@ -44,6 +44,7 @@ pub use optimal::OptimalDropper;
 pub use reactive::ReactiveOnly;
 pub use threshold::ThresholdDropper;
 
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// Outcome of a dropping decision for one machine queue.
@@ -79,15 +80,37 @@ impl DropDecision {
 
 /// A proactive dropping policy, invoked per machine queue at every mapping
 /// event (after the engine's reactive dropping, before mapping).
+///
+/// Policies are stateless values (`&self`): all mutable working state lives
+/// in the caller-owned [`PolicyCtx`], which the engine constructs once and
+/// threads through every call so scratch buffers stay warm across mapping
+/// events. Decisions must not depend on what a previous call left in the
+/// context — the differential suite in
+/// `crates/model/tests/evaluator_equivalence.rs` pins persistent-context
+/// decisions bit-identical to fresh-context ones.
 pub trait DropPolicy: Send + Sync {
     /// Stable identifier used in reports and configs (e.g. `"Heuristic"`).
     fn name(&self) -> &'static str;
 
-    /// Selects pending positions to drop from one machine queue.
+    /// Selects pending positions to drop from one machine queue, using
+    /// `scratch` for all chain evaluation.
     ///
     /// Returned indices must be strictly increasing and reference
     /// `queue.pending`; the engine validates this.
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision;
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision;
+
+    /// One-shot convenience: [`DropPolicy::select_drops`] against a fresh
+    /// [`PolicyCtx`]. This is the reference path the differential tests
+    /// compare the persistent path against; production drivers should
+    /// reuse one context instead.
+    fn select_drops_fresh(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+        self.select_drops(queue, ctx, &mut PolicyCtx::new())
+    }
 }
 
 #[cfg(test)]

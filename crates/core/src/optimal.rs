@@ -21,6 +21,7 @@
 //! and ablated in the benchmarks.
 
 use crate::{DropDecision, DropPolicy};
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::queue::{ChainEvaluator, ChainTask};
 use taskdrop_model::view::{DropContext, QueueView};
 use taskdrop_pmf::{Compaction, Pmf};
@@ -67,9 +68,10 @@ struct Search<'a> {
     tasks: &'a [ChainTask<'a>],
     compaction: Compaction,
     prune: bool,
-    /// Fused per-step evaluator: one completion materialisation per keep
-    /// edge instead of a raw PMF plus a compacted clone.
-    eval: ChainEvaluator,
+    /// Fused per-step evaluator borrowed from the persistent context: one
+    /// completion materialisation per keep edge instead of a raw PMF plus
+    /// a compacted clone, with buffers warm across mapping events.
+    eval: &'a mut ChainEvaluator,
     /// Upper bound on the chance of position `i`: its chance when chained
     /// directly after the queue base (all predecessors dropped), plus the
     /// best-case chances of all later positions. `bound[i]` = max possible
@@ -115,7 +117,12 @@ impl DropPolicy for OptimalDropper {
         "Optimal"
     }
 
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision {
         let tasks = queue.chain_tasks();
         let n = tasks.len();
         if n < 2 {
@@ -128,7 +135,7 @@ impl DropPolicy for OptimalDropper {
             n - 1
         );
         let base = queue.base();
-        let mut eval = ChainEvaluator::new();
+        let eval = &mut scratch.eval;
 
         // Per-position best-case chance: chained directly after the base.
         // Admissible: any surviving predecessor chain is stochastically
@@ -201,16 +208,16 @@ mod tests {
     fn empty_and_singleton_queues() {
         let pet = pet();
         let q = idle_queue(&pet, 0, vec![]);
-        assert!(OptimalDropper::new().select_drops(&q, &ctx()).is_empty());
+        assert!(OptimalDropper::new().select_drops_fresh(&q, &ctx()).is_empty());
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 5)]);
-        assert!(OptimalDropper::new().select_drops(&q, &ctx()).is_empty());
+        assert!(OptimalDropper::new().select_drops_fresh(&q, &ctx()).is_empty());
     }
 
     #[test]
     fn matches_oracle_on_doomed_blocker() {
         let pet = pet();
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 30)]);
-        let d = OptimalDropper::new().select_drops(&q, &ctx());
+        let d = OptimalDropper::new().select_drops_fresh(&q, &ctx());
         assert_eq!(d.drops, vec![0]);
         assert!((achieved(&q, &d.drops) - oracle_best(&q)).abs() < 1e-9);
     }
@@ -219,7 +226,7 @@ mod tests {
     fn no_drop_when_nothing_gained() {
         let pet = pet();
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 60), pending(2, 0, 70)]);
-        assert!(OptimalDropper::new().select_drops(&q, &ctx()).is_empty());
+        assert!(OptimalDropper::new().select_drops_fresh(&q, &ctx()).is_empty());
     }
 
     #[test]
@@ -238,7 +245,7 @@ mod tests {
         ];
         for pendings in queues {
             let q = idle_queue(&pet, 0, pendings);
-            let d = OptimalDropper::new().select_drops(&q, &ctx());
+            let d = OptimalDropper::new().select_drops_fresh(&q, &ctx());
             let got = achieved(&q, &d.drops);
             let best = oracle_best(&q);
             assert!((got - best).abs() < 1e-9, "optimal {got} vs oracle {best}");
@@ -256,8 +263,8 @@ mod tests {
             pending(5, 0, 90),
         ];
         let q = idle_queue(&pet, 0, pendings);
-        let with = OptimalDropper::new().select_drops(&q, &ctx());
-        let without = OptimalDropper::without_pruning().select_drops(&q, &ctx());
+        let with = OptimalDropper::new().select_drops_fresh(&q, &ctx());
+        let without = OptimalDropper::without_pruning().select_drops_fresh(&q, &ctx());
         assert_eq!(with, without);
     }
 
@@ -271,8 +278,8 @@ mod tests {
         ];
         for pendings in cases {
             let q = idle_queue(&pet, 0, pendings);
-            let od = OptimalDropper::new().select_drops(&q, &ctx());
-            let hd = ProactiveDropper::paper_default().select_drops(&q, &ctx());
+            let od = OptimalDropper::new().select_drops_fresh(&q, &ctx());
+            let hd = ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx());
             let r_opt = achieved(&q, &od.drops);
             let r_heu = achieved(&q, &hd.drops);
             assert!(r_opt + 1e-9 >= r_heu, "optimal {r_opt} < heuristic {r_heu}");
@@ -283,7 +290,7 @@ mod tests {
     fn never_drops_last_task() {
         let pet = pet();
         let q = idle_queue(&pet, 0, vec![pending(1, 0, 1000), pending(2, 1, 5)]);
-        let d = OptimalDropper::new().select_drops(&q, &ctx());
+        let d = OptimalDropper::new().select_drops_fresh(&q, &ctx());
         assert!(!d.drops.contains(&1));
     }
 
@@ -294,7 +301,7 @@ mod tests {
         // (pass-through makes doomed drops free only when they add chance).
         // Both viable -> optimal must keep both.
         let q = idle_queue(&pet, 0, vec![pending(1, 0, 500), pending(2, 0, 500)]);
-        let d = OptimalDropper::new().select_drops(&q, &ctx());
+        let d = OptimalDropper::new().select_drops_fresh(&q, &ctx());
         assert!(d.is_empty());
     }
 }

@@ -6,6 +6,7 @@
 //! simply never volunteers additional drops.
 
 use crate::{DropDecision, DropPolicy};
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// Dropping policy that performs no proactive drops.
@@ -17,7 +18,12 @@ impl DropPolicy for ReactiveOnly {
         "ReactDrop"
     }
 
-    fn select_drops(&self, _queue: &QueueView<'_>, _ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        _queue: &QueueView<'_>,
+        _ctx: &DropContext,
+        _scratch: &mut PolicyCtx,
+    ) -> DropDecision {
         DropDecision::none()
     }
 }
@@ -34,6 +40,6 @@ mod tests {
         // Even a hopeless queue yields no proactive drops.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 12), pending(2, 0, 15)]);
         let ctx = DropContext { compaction: Compaction::None, pressure: 10.0, approx: None };
-        assert!(ReactiveOnly.select_drops(&q, &ctx).is_empty());
+        assert!(ReactiveOnly.select_drops_fresh(&q, &ctx).is_empty());
     }
 }

@@ -25,7 +25,8 @@
 //! task on its own chance, not on its influence zone.
 
 use crate::{DropDecision, DropPolicy};
-use taskdrop_model::queue::{ChainEvaluator, ChainTask};
+use taskdrop_model::ctx::PolicyCtx;
+use taskdrop_model::queue::ChainTask;
 use taskdrop_model::view::{DropContext, QueueView};
 
 /// Threshold-based probabilistic dropping (the PAM+Threshold baseline).
@@ -85,11 +86,16 @@ impl DropPolicy for ThresholdDropper {
         "Threshold"
     }
 
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision {
         let tasks: Vec<ChainTask<'_>> = queue.chain_tasks();
         let threshold = self.effective_threshold(ctx.pressure);
         let mut drops = Vec::new();
-        let mut eval = ChainEvaluator::new();
+        let eval = &mut scratch.eval;
         let mut prev = queue.base();
         for (i, &t) in tasks.iter().enumerate() {
             let (chance, completion) = eval.step_from(&prev, t, ctx.compaction);
@@ -122,9 +128,9 @@ mod tests {
         //   completion = 30 w.p. .5 / 90 w.p. .5 -> chance 1.0.
         let q = idle_queue(&pet, 0, vec![pending(1, 2, 50), pending(2, 0, 95)]);
         let lenient = ThresholdDropper::with_adaptation(0.3, 0.0, 0.8);
-        assert!(lenient.select_drops(&q, &ctx(0.0)).is_empty());
+        assert!(lenient.select_drops_fresh(&q, &ctx(0.0)).is_empty());
         let strict = ThresholdDropper::with_adaptation(0.6, 0.0, 0.8);
-        assert_eq!(strict.select_drops(&q, &ctx(0.0)).drops, vec![0]);
+        assert_eq!(strict.select_drops_fresh(&q, &ctx(0.0)).drops, vec![0]);
     }
 
     #[test]
@@ -132,7 +138,7 @@ mod tests {
         let pet = pet();
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 30)]);
         let off = ThresholdDropper::with_adaptation(0.0, 0.0, 0.8);
-        assert!(off.select_drops(&q, &ctx(5.0)).is_empty());
+        assert!(off.select_drops_fresh(&q, &ctx(5.0)).is_empty());
     }
 
     #[test]
@@ -140,7 +146,7 @@ mod tests {
         let pet = pet();
         // Unlike Eq-8 droppers, threshold pruning discards a hopeless tail.
         let q = idle_queue(&pet, 0, vec![pending(1, 0, 1000), pending(2, 1, 5)]);
-        let d = ThresholdDropper::paper_default().select_drops(&q, &ctx(0.0));
+        let d = ThresholdDropper::paper_default().select_drops_fresh(&q, &ctx(0.0));
         assert_eq!(d.drops, vec![1]);
     }
 
@@ -150,7 +156,7 @@ mod tests {
         // Doomed 50-tick blocker (chance 0 < 0.25) then a task that is only
         // viable once the blocker is gone.
         let q = idle_queue(&pet, 0, vec![pending(1, 1, 20), pending(2, 0, 15)]);
-        let d = ThresholdDropper::paper_default().select_drops(&q, &ctx(0.0));
+        let d = ThresholdDropper::paper_default().select_drops_fresh(&q, &ctx(0.0));
         // Blocker dropped; follower then completes at 10 < 15 (chance 1).
         assert_eq!(d.drops, vec![0]);
     }
@@ -173,8 +179,8 @@ mod tests {
         // the effective threshold above 0.5.
         let q = idle_queue(&pet, 0, vec![pending(1, 2, 50), pending(2, 0, 1000)]);
         let t = ThresholdDropper::with_adaptation(0.4, 0.5, 0.9);
-        assert!(t.select_drops(&q, &ctx(0.0)).is_empty());
-        assert_eq!(t.select_drops(&q, &ctx(1.0)).drops, vec![0]);
+        assert!(t.select_drops_fresh(&q, &ctx(0.0)).is_empty());
+        assert_eq!(t.select_drops_fresh(&q, &ctx(1.0)).drops, vec![0]);
     }
 
     #[test]

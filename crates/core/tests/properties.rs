@@ -102,7 +102,7 @@ proptest! {
     fn optimal_matches_oracle(spec in queue_strategy()) {
         let pet = pet();
         let q = build_queue(&pet, &spec);
-        let d = OptimalDropper::new().select_drops(&q, &ctx());
+        let d = OptimalDropper::new().select_drops_fresh(&q, &ctx());
         let achieved = robustness_with(&q, &d.drops);
         let best = oracle_best(&q);
         prop_assert!((achieved - best).abs() < 1e-9, "optimal {achieved} vs oracle {best}");
@@ -112,8 +112,8 @@ proptest! {
     fn pruning_is_exact(spec in queue_strategy()) {
         let pet = pet();
         let q = build_queue(&pet, &spec);
-        let with = OptimalDropper::new().select_drops(&q, &ctx());
-        let without = OptimalDropper::without_pruning().select_drops(&q, &ctx());
+        let with = OptimalDropper::new().select_drops_fresh(&q, &ctx());
+        let without = OptimalDropper::without_pruning().select_drops_fresh(&q, &ctx());
         prop_assert_eq!(with, without);
     }
 
@@ -121,10 +121,10 @@ proptest! {
     fn optimal_at_least_heuristic_at_least_nodrop(spec in queue_strategy()) {
         let pet = pet();
         let q = build_queue(&pet, &spec);
-        let r_opt = robustness_with(&q, &OptimalDropper::new().select_drops(&q, &ctx()).drops);
+        let r_opt = robustness_with(&q, &OptimalDropper::new().select_drops_fresh(&q, &ctx()).drops);
         let r_heu = robustness_with(
             &q,
-            &ProactiveDropper::paper_default().select_drops(&q, &ctx()).drops,
+            &ProactiveDropper::paper_default().select_drops_fresh(&q, &ctx()).drops,
         );
         let r_none = robustness_with(&q, &[]);
         prop_assert!(r_opt + 1e-9 >= r_heu, "optimal {r_opt} < heuristic {r_heu}");
@@ -132,7 +132,7 @@ proptest! {
         // eta=2 windows can in principle trade far-field chance, so compare
         // the *full-depth* heuristic against no-drop for the guarantee.
         let full = ProactiveDropper::new(1.0, 6);
-        let r_full = robustness_with(&q, &full.select_drops(&q, &ctx()).drops);
+        let r_full = robustness_with(&q, &full.select_drops_fresh(&q, &ctx()).drops);
         prop_assert!(r_full + 1e-9 >= r_none, "full-depth heuristic {r_full} < no-drop {r_none}");
     }
 
@@ -148,7 +148,7 @@ proptest! {
             Box::new(ThresholdDropper::paper_default()),
         ];
         for p in &policies {
-            let d = p.select_drops(&q, &ctx());
+            let d = p.select_drops_fresh(&q, &ctx());
             for w in d.drops.windows(2) {
                 prop_assert!(w[0] < w[1], "{} indices not increasing", p.name());
             }
@@ -166,8 +166,8 @@ proptest! {
         let pet = pet();
         let q = build_queue(&pet, &spec);
         let h = ProactiveDropper::paper_default();
-        prop_assert_eq!(h.select_drops(&q, &ctx()), h.select_drops(&q, &ctx()));
+        prop_assert_eq!(h.select_drops_fresh(&q, &ctx()), h.select_drops_fresh(&q, &ctx()));
         let o = OptimalDropper::new();
-        prop_assert_eq!(o.select_drops(&q, &ctx()), o.select_drops(&q, &ctx()));
+        prop_assert_eq!(o.select_drops_fresh(&q, &ctx()), o.select_drops_fresh(&q, &ctx()));
     }
 }

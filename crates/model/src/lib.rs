@@ -13,11 +13,15 @@
 //!   same quantities under provisional drops (Eqs 4–7);
 //! * the read-only **views** ([`view`]) the simulator hands to mapping
 //!   heuristics and dropping policies, keeping `taskdrop-sched` and
-//!   `taskdrop-core` decoupled from the simulator.
+//!   `taskdrop-core` decoupled from the simulator;
+//! * the persistent **evaluation context** ([`ctx`]) — the scratch
+//!   evaluators and keyed PET×tail convolution cache ([`PolicyCtx`])
+//!   threaded through every policy and mapper call.
 
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod ctx;
 mod ids;
 mod machine;
 mod pet;
@@ -26,6 +30,7 @@ mod task;
 pub mod view;
 
 pub use approx::ApproxSpec;
+pub use ctx::{CacheStats, PolicyCtx, TailCache};
 pub use ids::{MachineId, MachineTypeId, TaskId, TaskTypeId};
 pub use machine::{Machine, MachineType};
 pub use pet::PetMatrix;

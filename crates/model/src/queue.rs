@@ -282,6 +282,16 @@ impl LazyChain {
         chain
     }
 
+    /// Restarts the chain in place from a new `base`, keeping the link and
+    /// evaluator buffers warm — the persistent-context equivalent of
+    /// [`LazyChain::begin`]. Every previously evaluated link falls behind
+    /// the watermark and is rewritten before it can be read, so decisions
+    /// after a reset are bit-identical to those of a fresh chain.
+    pub fn reset(&mut self, base: &Pmf) {
+        self.valid_to = 0;
+        self.eval.begin(base);
+    }
+
     /// Extends the baseline so positions `..upto` are evaluated against the
     /// current survivor set.
     ///

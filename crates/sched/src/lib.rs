@@ -35,6 +35,7 @@ pub use ordered::{Edf, Fcfs, OrderedHeuristic, Sjf};
 pub use registry::HeuristicKind;
 pub use two_phase::{MaxMin, MinMin, Msd, Pam, Sufferage};
 
+use taskdrop_model::ctx::PolicyCtx;
 use taskdrop_model::view::{Assignment, MappingInput};
 
 /// A batch-mode mapping heuristic: given machines with free queue slots and
@@ -43,12 +44,25 @@ use taskdrop_model::view::{Assignment, MappingInput};
 /// Implementations must be deterministic (the whole simulator is replayable
 /// from a seed) and must never assign more tasks to a machine than it has
 /// free slots, nor assign the same task twice. The engine validates both.
+///
+/// Heuristics are stateless values (`&self`); all mutable working state —
+/// chain-evaluator scratch and the persistent PET×tail convolution cache —
+/// lives in the caller-owned [`PolicyCtx`] threaded through every call.
+/// Assignments must not depend on what a previous call left in the context.
 pub trait MappingHeuristic: Send + Sync {
     /// Stable identifier used in reports and configs (e.g. `"MM"`).
     fn name(&self) -> &'static str;
 
-    /// Computes assignments for this mapping event.
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment>;
+    /// Computes assignments for this mapping event, using `scratch` for
+    /// all chain evaluation and convolution caching.
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment>;
+
+    /// One-shot convenience: [`MappingHeuristic::map`] against a fresh
+    /// [`PolicyCtx`] — the reference path persistent-context results are
+    /// compared against in tests. Production drivers reuse one context.
+    fn map_fresh(&self, input: MappingInput<'_>) -> Vec<Assignment> {
+        self.map(input, &mut PolicyCtx::new())
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 //! types).
 
 use crate::MappingHeuristic;
-use taskdrop_model::queue::{ChainEvaluator, ChainTask};
+use taskdrop_model::ctx::PolicyCtx;
+use taskdrop_model::queue::ChainTask;
 use taskdrop_model::view::{Assignment, MappingInput};
 
 /// The sort key an [`OrderedHeuristic`] uses.
@@ -54,7 +55,7 @@ impl MappingHeuristic for OrderedHeuristic {
         self.name
     }
 
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
         let MappingInput { now, pet, mut machines, unmapped, compaction } = input;
         let mut order: Vec<usize> = (0..unmapped.len()).collect();
         order.sort_by(|&a, &b| {
@@ -76,7 +77,7 @@ impl MappingHeuristic for OrderedHeuristic {
         let mut tail_means: Vec<f64> =
             machines.iter().map(|m| m.tail.mean().unwrap_or(now as f64)).collect();
         let mut out = Vec::new();
-        let mut eval = ChainEvaluator::new();
+        let eval = &mut scratch.eval;
         for idx in order {
             let task = &unmapped[idx];
             // Earliest expected completion among machines with a free slot.
@@ -107,8 +108,8 @@ impl MappingHeuristic for Fcfs {
     fn name(&self) -> &'static str {
         "FCFS"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        OrderedHeuristic::new(OrderKey::Arrival, "FCFS").map(input)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        OrderedHeuristic::new(OrderKey::Arrival, "FCFS").map(input, scratch)
     }
 }
 
@@ -116,8 +117,8 @@ impl MappingHeuristic for Edf {
     fn name(&self) -> &'static str {
         "EDF"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        OrderedHeuristic::new(OrderKey::Deadline, "EDF").map(input)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        OrderedHeuristic::new(OrderKey::Deadline, "EDF").map(input, scratch)
     }
 }
 
@@ -125,8 +126,8 @@ impl MappingHeuristic for Sjf {
     fn name(&self) -> &'static str {
         "SJF"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        OrderedHeuristic::new(OrderKey::MeanExec, "SJF").map(input)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        OrderedHeuristic::new(OrderKey::MeanExec, "SJF").map(input, scratch)
     }
 }
 
@@ -151,7 +152,7 @@ mod tests {
         let pet = inconsistent_pet();
         // Later-arrived task listed first; single slot must go to earlier.
         let tasks = vec![task(5, 0, 100, 1000), task(2, 0, 10, 1000)];
-        let asg = Fcfs.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = Fcfs.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg.len(), 1);
         assert_eq!(asg[0].task_idx, 1);
     }
@@ -160,7 +161,7 @@ mod tests {
     fn edf_picks_soonest_deadline() {
         let pet = inconsistent_pet();
         let tasks = vec![task(0, 0, 0, 900), task(1, 0, 50, 200)];
-        let asg = Edf.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = Edf.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg[0].task_idx, 1);
     }
 
@@ -171,11 +172,11 @@ mod tests {
         use taskdrop_pmf::Pmf;
         let pet2 = taskdrop_model::PetMatrix::new(2, 1, vec![Pmf::point(100), Pmf::point(10)]);
         let tasks = vec![task(0, 0, 0, 10_000), task(1, 1, 0, 10_000)];
-        let asg = Sjf.map(input(&pet2, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = Sjf.map_fresh(input(&pet2, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg[0].task_idx, 1, "SJF must map the short type first");
         // On the equal-mean PET, ties break by task id.
         let tasks = vec![task(7, 0, 0, 10_000), task(3, 1, 0, 10_000)];
-        let asg = Sjf.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = Sjf.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg[0].task_idx, 1);
     }
 
@@ -184,7 +185,8 @@ mod tests {
         let pet = inconsistent_pet();
         // Homogeneous pair (same machine type): machine 1 frees earlier.
         let tasks = vec![task(0, 0, 0, 10_000)];
-        let asg = Fcfs.map(input(&pet, vec![machine(0, 0, 3, 500), machine(1, 0, 3, 100)], &tasks));
+        let asg =
+            Fcfs.map_fresh(input(&pet, vec![machine(0, 0, 3, 500), machine(1, 0, 3, 100)], &tasks));
         assert_eq!(asg[0].machine, MachineId(1));
     }
 
@@ -192,7 +194,8 @@ mod tests {
     fn fills_all_slots_then_stops() {
         let pet = inconsistent_pet();
         let tasks: Vec<_> = (0..10).map(|i| task(i, 0, i * 5, 10_000)).collect();
-        let asg = Fcfs.map(input(&pet, vec![machine(0, 0, 2, 0), machine(1, 0, 2, 0)], &tasks));
+        let asg =
+            Fcfs.map_fresh(input(&pet, vec![machine(0, 0, 2, 0), machine(1, 0, 2, 0)], &tasks));
         assert_eq!(asg.len(), 4);
     }
 

@@ -24,10 +24,11 @@
 //! below the deadline can only come from on-time starts.
 
 use crate::MappingHeuristic;
+use taskdrop_model::ctx::{PolicyCtx, TailCache};
 use taskdrop_model::queue::{ChainEvaluator, ChainTask};
 use taskdrop_model::view::{Assignment, MachineView, MappingInput, UnmappedView};
 use taskdrop_model::PetMatrix;
-use taskdrop_pmf::{Compaction, Pmf};
+use taskdrop_pmf::Compaction;
 
 /// Which two-phase heuristic to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +74,8 @@ impl MappingHeuristic for MinMin {
     fn name(&self) -> &'static str {
         "MM"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        run_two_phase(input, Kind::MinMin)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        run_two_phase(input, Kind::MinMin, scratch)
     }
 }
 
@@ -82,8 +83,8 @@ impl MappingHeuristic for MaxMin {
     fn name(&self) -> &'static str {
         "MaxMin"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        run_two_phase(input, Kind::MaxMin)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        run_two_phase(input, Kind::MaxMin, scratch)
     }
 }
 
@@ -91,8 +92,8 @@ impl MappingHeuristic for Msd {
     fn name(&self) -> &'static str {
         "MSD"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        run_two_phase(input, Kind::Msd)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        run_two_phase(input, Kind::Msd, scratch)
     }
 }
 
@@ -100,8 +101,8 @@ impl MappingHeuristic for Sufferage {
     fn name(&self) -> &'static str {
         "Sufferage"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        run_two_phase(input, Kind::Sufferage)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        run_two_phase(input, Kind::Sufferage, scratch)
     }
 }
 
@@ -109,39 +110,47 @@ impl MappingHeuristic for Pam {
     fn name(&self) -> &'static str {
         "PAM"
     }
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
-        run_two_phase(input, Kind::Pam)
+    fn map(&self, input: MappingInput<'_>, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+        run_two_phase(input, Kind::Pam, scratch)
     }
 }
 
 /// Mutable mapper state: machine tails evolve as assignments are made.
+///
+/// The chain scratch and the PET×tail convolution cache are borrowed from
+/// the caller's [`PolicyCtx`], so the `tail ⊛ exec` convolutions PAM
+/// prices with survive *across* mapping events: when a machine's tail is
+/// unchanged since the last event (its queue did not move), the cached
+/// convolution is reused bit-identically instead of recomputed. Entries
+/// key on the exact `(tail, exec)` inputs, so an in-call tail extension
+/// (an assignment) invalidates by comparison — no explicit bookkeeping.
 struct WorkState<'a> {
     pet: &'a PetMatrix,
     compaction: Compaction,
     machines: Vec<MachineView>,
     tail_means: Vec<f64>,
-    /// Cached `tail ⊛ exec` per `(machine, task type)`, invalidated when the
-    /// machine's tail changes. Only PAM populates this.
-    convs: Vec<Option<Pmf>>,
     types: usize,
     /// Fused tail-extension scratch (one materialisation per assignment).
-    eval: ChainEvaluator,
+    eval: &'a mut ChainEvaluator,
+    /// Persistent `tail ⊛ exec` cache keyed by (machine id, task type).
+    cache: &'a mut TailCache,
 }
 
 impl<'a> WorkState<'a> {
-    fn new(input: &MappingInput<'a>) -> Self {
+    fn new(input: &MappingInput<'a>, scratch: &'a mut PolicyCtx) -> Self {
         let machines = input.machines.clone();
         let tail_means: Vec<f64> =
             machines.iter().map(|m| m.tail.mean().unwrap_or(input.now as f64)).collect();
         let types = input.pet.task_types();
+        let PolicyCtx { eval, tails, .. } = scratch;
         WorkState {
             pet: input.pet,
             compaction: input.compaction,
-            convs: vec![None; machines.len() * types],
             machines,
             tail_means,
             types,
-            eval: ChainEvaluator::new(),
+            eval,
+            cache: tails,
         }
     }
 
@@ -150,12 +159,15 @@ impl<'a> WorkState<'a> {
     }
 
     fn chance(&mut self, mi: usize, task: &UnmappedView) -> f64 {
-        let slot = mi * self.types + task.type_id.index();
-        if self.convs[slot].is_none() {
-            let exec = self.pet.pmf(task.type_id, self.machines[mi].machine_type);
-            self.convs[slot] = Some(self.machines[mi].tail.convolve(exec));
-        }
-        self.convs[slot].as_ref().expect("populated above").mass_before(task.deadline)
+        let exec = self.pet.pmf(task.type_id, self.machines[mi].machine_type);
+        let conv = self.cache.conv(
+            self.machines[mi].machine.index(),
+            task.type_id.index(),
+            self.types,
+            &self.machines[mi].tail,
+            exec,
+        );
+        conv.mass_before(task.deadline)
     }
 
     fn assign(&mut self, mi: usize, task: &UnmappedView) {
@@ -165,10 +177,8 @@ impl<'a> WorkState<'a> {
         self.tail_means[mi] = tail.mean().unwrap_or(self.tail_means[mi]);
         self.machines[mi].tail = tail;
         self.machines[mi].free_slots -= 1;
-        // Invalidate this machine's convolution cache row.
-        for slot in mi * self.types..(mi + 1) * self.types {
-            self.convs[slot] = None;
-        }
+        // No cache invalidation needed: the tail just changed, so stale
+        // convolution entries fail their input comparison on next lookup.
     }
 }
 
@@ -183,8 +193,8 @@ struct Pair {
     sufferage: f64,
 }
 
-fn run_two_phase(input: MappingInput<'_>, kind: Kind) -> Vec<Assignment> {
-    let mut state = WorkState::new(&input);
+fn run_two_phase(input: MappingInput<'_>, kind: Kind, scratch: &mut PolicyCtx) -> Vec<Assignment> {
+    let mut state = WorkState::new(&input, scratch);
     // (original index, view) of still-unmapped tasks.
     let mut remaining: Vec<(usize, UnmappedView)> =
         input.unmapped.iter().copied().enumerate().collect();
@@ -336,7 +346,7 @@ mod tests {
         let pet = inconsistent_pet();
         let tasks = vec![task(0, 0, 0, 1000), task(1, 1, 0, 1000)];
         let mm = MinMin;
-        let asg = mm.map(input(&pet, vec![machine(0, 0, 3, 0), machine(1, 1, 3, 0)], &tasks));
+        let asg = mm.map_fresh(input(&pet, vec![machine(0, 0, 3, 0), machine(1, 1, 3, 0)], &tasks));
         assert_eq!(asg.len(), 2);
         // Type 0 is fast (10) on machine 0; type 1 fast on machine 1.
         let m_of = |idx: usize| asg.iter().find(|a| a.task_idx == idx).unwrap().machine;
@@ -348,7 +358,8 @@ mod tests {
     fn minmin_respects_free_slots() {
         let pet = inconsistent_pet();
         let tasks: Vec<_> = (0..5).map(|i| task(i, 0, 0, 1000)).collect();
-        let asg = MinMin.map(input(&pet, vec![machine(0, 0, 2, 0), machine(1, 1, 1, 0)], &tasks));
+        let asg =
+            MinMin.map_fresh(input(&pet, vec![machine(0, 0, 2, 0), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg.len(), 3);
         let to_m0 = asg.iter().filter(|a| a.machine == MachineId(0)).count();
         let to_m1 = asg.iter().filter(|a| a.machine == MachineId(1)).count();
@@ -360,7 +371,8 @@ mod tests {
     fn minmin_no_duplicate_assignments() {
         let pet = inconsistent_pet();
         let tasks: Vec<_> = (0..10).map(|i| task(i, (i % 2) as u16, 0, 1000)).collect();
-        let asg = MinMin.map(input(&pet, vec![machine(0, 0, 4, 0), machine(1, 1, 4, 0)], &tasks));
+        let asg =
+            MinMin.map_fresh(input(&pet, vec![machine(0, 0, 4, 0), machine(1, 1, 4, 0)], &tasks));
         let mut seen: Vec<usize> = asg.iter().map(|a| a.task_idx).collect();
         seen.sort_unstable();
         seen.dedup();
@@ -376,7 +388,8 @@ mod tests {
         // least 3 go to the fast machine.
         let pet = inconsistent_pet();
         let tasks: Vec<_> = (0..4).map(|i| task(i, 0, 0, 10_000)).collect();
-        let asg = MinMin.map(input(&pet, vec![machine(0, 0, 6, 0), machine(1, 1, 6, 0)], &tasks));
+        let asg =
+            MinMin.map_fresh(input(&pet, vec![machine(0, 0, 6, 0), machine(1, 1, 6, 0)], &tasks));
         assert_eq!(asg.len(), 4);
         let fast = asg.iter().filter(|a| a.machine == MachineId(0)).count();
         assert!(fast >= 3, "fast machine got {fast}");
@@ -388,7 +401,7 @@ mod tests {
         // One slot: the sooner-deadline task must win it even though both
         // prefer machine 0.
         let tasks = vec![task(0, 0, 0, 5000), task(1, 0, 0, 50)];
-        let asg = Msd.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = Msd.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg.len(), 1);
         assert_eq!(asg[0].task_idx, 1);
     }
@@ -399,7 +412,7 @@ mod tests {
         // Type 0 completes in 10, type 1 in 40 on machine 0; MinMin gives
         // the slot to the faster task regardless of deadlines.
         let tasks = vec![task(0, 1, 0, 50), task(1, 0, 0, 5000)];
-        let asg = MinMin.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = MinMin.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg.len(), 1);
         assert_eq!(asg[0].task_idx, 1);
     }
@@ -415,7 +428,8 @@ mod tests {
         // vs machine 0: 100 + 10 = 110. Chance logic and completion agree
         // here; the distinguishing case is below.
         let tasks = vec![task(0, 0, 0, 60)];
-        let asg = Pam.map(input(&pet, vec![machine(0, 0, 1, 100), machine(1, 1, 1, 0)], &tasks));
+        let asg =
+            Pam.map_fresh(input(&pet, vec![machine(0, 0, 1, 100), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg[0].machine, MachineId(1));
     }
 
@@ -427,7 +441,8 @@ mod tests {
         //   machine 1: completes at 40 < 70 -> chance 1, completion 40.
         // Equal chance; tie-break by completion -> machine 1.
         let tasks = vec![task(0, 0, 0, 70)];
-        let asg = Pam.map(input(&pet, vec![machine(0, 0, 1, 55), machine(1, 1, 1, 0)], &tasks));
+        let asg =
+            Pam.map_fresh(input(&pet, vec![machine(0, 0, 1, 55), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg[0].machine, MachineId(1));
 
         // Now deadline 50: machine 0 chance 0 (65 >= 50), machine 1 chance 1
@@ -440,7 +455,8 @@ mod tests {
         // machine 0: completes 55 < 56 -> chance 1, completion 55.
         // machine 1: completes 40 < 56 -> chance 1, completion 40.
         // tie on chance, completion picks machine 1.
-        let asg = Pam.map(input(&pet, vec![machine(0, 0, 1, 45), machine(1, 1, 1, 0)], &tasks));
+        let asg =
+            Pam.map_fresh(input(&pet, vec![machine(0, 0, 1, 45), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg[0].machine, MachineId(1));
     }
 
@@ -461,11 +477,13 @@ mod tests {
         );
         // Deadline 35: machine 0 chance 1.0; machine 1 chance 0.5.
         let tasks = vec![task(0, 0, 0, 35)];
-        let asg = Pam.map(input(&pet, vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)], &tasks));
+        let asg =
+            Pam.map_fresh(input(&pet, vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg[0].machine, MachineId(0));
         // Deadline 15: machine 0 chance 0; machine 1 chance 0.5.
         let tasks = vec![task(0, 0, 0, 15)];
-        let asg = Pam.map(input(&pet, vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)], &tasks));
+        let asg =
+            Pam.map_fresh(input(&pet, vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)], &tasks));
         assert_eq!(asg[0].machine, MachineId(1));
     }
 
@@ -473,7 +491,7 @@ mod tests {
     fn empty_batch_maps_nothing() {
         let pet = inconsistent_pet();
         for h in [&MinMin as &dyn MappingHeuristic, &Msd, &Pam] {
-            let asg = h.map(input(&pet, vec![machine(0, 0, 3, 0)], &[]));
+            let asg = h.map_fresh(input(&pet, vec![machine(0, 0, 3, 0)], &[]));
             assert!(asg.is_empty(), "{}", h.name());
         }
     }
@@ -483,7 +501,8 @@ mod tests {
         let pet = inconsistent_pet();
         let tasks = vec![task(0, 0, 0, 100)];
         for h in [&MinMin as &dyn MappingHeuristic, &Msd, &Pam] {
-            let asg = h.map(input(&pet, vec![machine(0, 0, 0, 0), machine(1, 1, 0, 0)], &tasks));
+            let asg =
+                h.map_fresh(input(&pet, vec![machine(0, 0, 0, 0), machine(1, 1, 0, 0)], &tasks));
             assert!(asg.is_empty(), "{}", h.name());
         }
     }
@@ -503,9 +522,9 @@ mod tests {
         // Single slot on machine 0: type 0 completes in 10, type 1 in 40.
         // MinMin gives the slot to the short task; MaxMin to the long one.
         let tasks = vec![task(0, 0, 0, 10_000), task(1, 1, 0, 10_000)];
-        let min = MinMin.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let min = MinMin.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(min[0].task_idx, 0);
-        let max = MaxMin.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let max = MaxMin.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(max[0].task_idx, 1);
     }
 
@@ -521,8 +540,11 @@ mod tests {
         // sufferage, ties by completion then id -> A (lower id) wins m0.
         let pet = inconsistent_pet();
         let tasks = vec![task(0, 0, 0, 10_000), task(1, 1, 0, 10_000), task(2, 0, 0, 10_000)];
-        let asg =
-            Sufferage.map(input(&pet, vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)], &tasks));
+        let asg = Sufferage.map_fresh(input(
+            &pet,
+            vec![machine(0, 0, 1, 0), machine(1, 1, 1, 0)],
+            &tasks,
+        ));
         assert_eq!(asg.len(), 2);
         let m_of = |idx: usize| asg.iter().find(|a| a.task_idx == idx).map(|a| a.machine);
         assert_eq!(m_of(0), Some(MachineId(0)), "task A takes its fast machine");
@@ -536,7 +558,7 @@ mod tests {
         // for every task; ties resolve by completion then id.
         let pet = inconsistent_pet();
         let tasks = vec![task(3, 0, 0, 10_000), task(1, 0, 0, 10_000)];
-        let asg = Sufferage.map(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
+        let asg = Sufferage.map_fresh(input(&pet, vec![machine(0, 0, 1, 0)], &tasks));
         assert_eq!(asg.len(), 1);
         assert_eq!(asg[0].task_idx, 1, "equal completion: lower id wins");
     }

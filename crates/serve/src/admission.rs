@@ -169,7 +169,7 @@ impl AdmissionController {
         &mut self,
         task: OfferedTask,
         core: &mut SimCore<'_>,
-        tails: &QueueTails,
+        tails: &mut QueueTails,
     ) -> AdmissionOutcome {
         self.offer_impl(task, core, Some(tails))
     }
@@ -178,7 +178,7 @@ impl AdmissionController {
         &mut self,
         task: OfferedTask,
         core: &mut SimCore<'_>,
-        tails: Option<&QueueTails>,
+        tails: Option<&mut QueueTails>,
     ) -> AdmissionOutcome {
         self.stats.offered += 1;
         if let BackpressurePolicy::PreDrop { threshold } = self.policy {
@@ -297,23 +297,32 @@ fn admission_dropped(task: &OfferedTask, now: Tick, kind: AdmissionDropKind) -> 
 /// Down machines are excluded — the mapper exposes no free slots on them,
 /// so pricing an offer against their idle-looking tails would wave
 /// hopeless work through the gate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct QueueTails {
     tails: Vec<(MachineTypeId, Pmf)>,
+    /// Reusable Eq 1 + Eq 2 scratch: one per captured tail set instead of
+    /// one allocation per priced offer.
+    scratch: ChainScratch,
 }
 
 impl QueueTails {
-    /// Captures the tails of every *up* machine in `core`'s cluster.
+    /// Captures the tails of every *up* machine in `core`'s cluster. The
+    /// tail chains come from the core's persistent PET×tail cache (hence
+    /// `&mut` — hit/miss counters advance), so capturing against unmoved
+    /// queues re-chains nothing.
     #[must_use]
-    pub fn capture(core: &SimCore<'_>) -> Self {
-        let tails = core
-            .scenario()
-            .machines
-            .iter()
-            .filter(|m| core.machine_is_down(m.id) == Some(false))
-            .filter_map(|m| core.queue_tail_estimate(m.id).map(|tail| (m.type_id, tail)))
-            .collect();
-        QueueTails { tails }
+    pub fn capture(core: &mut SimCore<'_>) -> Self {
+        let machines = core.scenario().machines.clone();
+        let mut tails = Vec::new();
+        for m in machines {
+            if core.machine_is_down(m.id) != Some(false) {
+                continue;
+            }
+            if let Some(tail) = core.queue_tail_estimate(m.id) {
+                tails.push((m.type_id, tail));
+            }
+        }
+        QueueTails { tails, scratch: ChainScratch::new() }
     }
 
     /// How many machines were up at capture time.
@@ -335,17 +344,16 @@ impl QueueTails {
     /// slack-window form asks the question the paper's pruning asks —
     /// "joining a queue shaped like this, does the task stand a chance?" —
     /// independently of how far ahead the offer sits.
-    #[must_use]
-    pub fn best_chance(&self, pet: &PetMatrix, now: Tick, task: &OfferedTask) -> f64 {
+    pub fn best_chance(&mut self, pet: &PetMatrix, now: Tick, task: &OfferedTask) -> f64 {
         let deadline = now + task.deadline.saturating_sub(task.arrival);
         // Fused Eq 1 + Eq 2: the chance is summed during the convolution
-        // sweep, so no completion PMF is ever materialised; one scratch
-        // serves the whole cluster scan.
-        let mut scratch = ChainScratch::new();
+        // sweep, so no completion PMF is ever materialised; the owned
+        // scratch serves every cluster scan of the capture's lifetime, so
+        // a whole offer batch prices with zero steady-state allocation.
         let mut best = 0.0f64;
         for (machine_type, tail) in &self.tails {
             let exec = pet.pmf(task.type_id, *machine_type);
-            best = best.max(scratch.chance_of(tail, exec, deadline));
+            best = best.max(self.scratch.chance_of(tail, exec, deadline));
         }
         best
     }
@@ -354,8 +362,9 @@ impl QueueTails {
 /// One-shot form of [`QueueTails::capture`] + [`QueueTails::best_chance`]:
 /// the offer's best chance of success across the cluster right now.
 #[must_use]
-pub fn best_chance_of_success(core: &SimCore<'_>, task: &OfferedTask) -> f64 {
-    QueueTails::capture(core).best_chance(&core.scenario().pet, core.now(), task)
+pub fn best_chance_of_success(core: &mut SimCore<'_>, task: &OfferedTask) -> f64 {
+    let mut tails = QueueTails::capture(core);
+    tails.best_chance(&core.scenario().pet, core.now(), task)
 }
 
 #[cfg(test)]
@@ -455,13 +464,13 @@ mod tests {
     #[test]
     fn best_chance_is_high_on_an_idle_cluster_with_roomy_deadline() {
         let s = Scenario::specint(5);
-        let core = open_core(&s);
-        let roomy = best_chance_of_success(&core, &offered(0, 5_000));
-        let hopeless = best_chance_of_success(&core, &offered(0, 1));
+        let mut core = open_core(&s);
+        let roomy = best_chance_of_success(&mut core, &offered(0, 5_000));
+        let hopeless = best_chance_of_success(&mut core, &offered(0, 1));
         assert!(roomy > 0.9, "idle cluster, roomy deadline: {roomy}");
         assert!(hopeless < 0.05, "1-tick deadline: {hopeless}");
         // The batched form prices identically to the one-shot form.
-        let tails = QueueTails::capture(&core);
+        let mut tails = QueueTails::capture(&mut core);
         assert_eq!(tails.machines_up(), s.machine_count());
         let batched = tails.best_chance(&s.pet, core.now(), &offered(0, 5_000));
         assert!((batched - roomy).abs() < 1e-15);
@@ -483,8 +492,43 @@ mod tests {
         core.run_until(6_000);
         let down = s.machines.iter().filter(|m| core.machine_is_down(m.id) == Some(true)).count();
         assert!(down > 0, "failure spec should have downed at least one machine");
-        let tails = QueueTails::capture(&core);
+        let tails = QueueTails::capture(&mut core);
         assert_eq!(tails.machines_up(), s.machine_count() - down);
+    }
+
+    /// The pre-drop gate stays failure-aware through the persistent tail
+    /// cache: a capture against a warm-cache core (partly-down cluster)
+    /// prices offers bit-identically to a capture against a cold-cache
+    /// restored twin — down machines are skipped either way.
+    #[test]
+    fn warm_and_cold_captures_price_identically_with_down_machines() {
+        use taskdrop_sim::FailureSpec;
+        let s = Scenario::specint(5);
+        let config = SimConfig {
+            exclude_boundary: 0,
+            failures: Some(FailureSpec { mtbf: 200, mttr: 5_000 }),
+            ..SimConfig::default()
+        };
+        let mut warm = SimCore::open(&s, &Pam, &ReactiveOnly, config, 3).unwrap();
+        for k in 0..40u64 {
+            warm.inject(TaskTypeId((k % 12) as u16), 5 * k, 5 * k + 600).unwrap();
+        }
+        warm.run_until(150);
+        // Warm the tail cache, then capture twice: live core vs restored
+        // cold twin.
+        let mut warm_tails = QueueTails::capture(&mut warm);
+        let checkpoint = warm.snapshot();
+        let mut cold = SimCore::restore(&s, &Pam, &ReactiveOnly, &checkpoint).unwrap();
+        let mut cold_tails = QueueTails::capture(&mut cold);
+        assert_eq!(warm_tails.machines_up(), cold_tails.machines_up());
+        let down = s.machines.iter().filter(|m| warm.machine_is_down(m.id) == Some(true)).count();
+        assert_eq!(warm_tails.machines_up(), s.machine_count() - down);
+        for (arrival, deadline) in [(150, 180), (150, 400), (160, 2_000), (200, 210)] {
+            let offer = offered(arrival, deadline);
+            let a = warm_tails.best_chance(&s.pet, warm.now(), &offer);
+            let b = cold_tails.best_chance(&s.pet, cold.now(), &offer);
+            assert_eq!(a.to_bits(), b.to_bits(), "offer ({arrival}, {deadline})");
+        }
     }
 
     #[test]

@@ -134,9 +134,9 @@ impl<'a> Shard<'a> {
             if tails.is_none()
                 && matches!(self.admission.policy(), BackpressurePolicy::PreDrop { .. })
             {
-                tails = Some(QueueTails::capture(&self.core));
+                tails = Some(QueueTails::capture(&mut self.core));
             }
-            match &tails {
+            match &mut tails {
                 Some(t) => self.admission.offer_with(task, &mut self.core, t),
                 None => self.admission.offer(task, &mut self.core),
             };

@@ -37,6 +37,7 @@ use crate::metrics::{TaskFate, TrialResult};
 use crate::observer::{DropKind, SimEvent, SimObserver};
 use std::collections::VecDeque;
 use taskdrop_core::DropPolicy;
+use taskdrop_model::ctx::{CacheStats, PolicyCtx};
 use taskdrop_model::queue as qchain;
 use taskdrop_model::view::{
     DropContext, MachineView, MappingInput, PendingView, QueueView, RunningView, UnmappedView,
@@ -75,6 +76,12 @@ struct MachineSt {
     epoch: u64,
     /// Failure injection: the machine is down (cannot start tasks).
     down: bool,
+    /// Queue revision: bumped on every mutation that can change the queue
+    /// tail — map-in, proactive/reactive drop, degrade, start (pop), and
+    /// failure/repair. Part of the [`PolicyCtx`] tail-cache key; **derived
+    /// state**, never serialized (a restored core starts at revision 0
+    /// with a cold cache and converges to the same bytes).
+    queue_rev: u64,
 }
 
 impl MachineSt {
@@ -120,6 +127,8 @@ pub enum StepOutcome {
     Advanced {
         /// Simulation time after the step.
         now: Tick,
+        /// Cumulative PET×tail cache work counters ([`SimCore::cache_stats`]).
+        work: CacheStats,
     },
     /// No events are scheduled but admitted tasks remain unresolved. Only
     /// reachable on an [open](SimCore::open) core between injections; the
@@ -134,6 +143,8 @@ pub enum StepOutcome {
     Drained {
         /// Simulation time of the final mapping event.
         now: Tick,
+        /// Cumulative PET×tail cache work counters ([`SimCore::cache_stats`]).
+        work: CacheStats,
     },
 }
 
@@ -148,9 +159,19 @@ impl StepOutcome {
     #[must_use]
     pub fn now(&self) -> Tick {
         match *self {
-            StepOutcome::Advanced { now }
+            StepOutcome::Advanced { now, .. }
             | StepOutcome::Idle { now }
-            | StepOutcome::Drained { now } => now,
+            | StepOutcome::Drained { now, .. } => now,
+        }
+    }
+
+    /// The cumulative cache work counters this outcome carries, if the
+    /// step did any work (`Idle` does none).
+    #[must_use]
+    pub fn work(&self) -> Option<CacheStats> {
+        match *self {
+            StepOutcome::Advanced { work, .. } | StepOutcome::Drained { work, .. } => Some(work),
+            StepOutcome::Idle { .. } => None,
         }
     }
 }
@@ -248,6 +269,11 @@ pub struct SimCore<'a> {
     now: Tick,
     mapping_events: u64,
     observers: Vec<Box<dyn SimObserver + 'a>>,
+    /// The persistent evaluation context (DESIGN.md §13): policy/mapper
+    /// scratch plus the keyed PET×tail cache. Constructed once per core,
+    /// reused across steps and serving epochs; derived state that is
+    /// rebuilt — never serialized — on checkpoint restore.
+    ctx: PolicyCtx,
 }
 
 impl<'a> SimCore<'a> {
@@ -314,6 +340,7 @@ impl<'a> SimCore<'a> {
                 busy_ticks: 0,
                 epoch: 0,
                 down: false,
+                queue_rev: 0,
             })
             .collect();
         let mut events = EventQueue::new();
@@ -338,6 +365,7 @@ impl<'a> SimCore<'a> {
             now: 0,
             mapping_events: 0,
             observers: Vec::new(),
+            ctx: PolicyCtx::new(),
         };
         core.schedule_failures();
         Ok(core)
@@ -422,7 +450,7 @@ impl<'a> SimCore<'a> {
     /// the legacy batch run.
     pub fn step(&mut self) -> StepOutcome {
         if self.fates.all_resolved() {
-            return StepOutcome::Drained { now: self.now };
+            return StepOutcome::Drained { now: self.now, work: self.cache_stats() };
         }
         let Some((t, ev)) = self.events.pop() else {
             return StepOutcome::Idle { now: self.now };
@@ -437,9 +465,9 @@ impl<'a> SimCore<'a> {
         self.mapping_events += 1;
         emit(&mut self.observers, SimEvent::MappingRound { now: self.now });
         if self.fates.all_resolved() {
-            StepOutcome::Drained { now: self.now }
+            StepOutcome::Drained { now: self.now, work: self.cache_stats() }
         } else {
-            StepOutcome::Advanced { now: self.now }
+            StepOutcome::Advanced { now: self.now, work: self.cache_stats() }
         }
     }
 
@@ -452,11 +480,11 @@ impl<'a> SimCore<'a> {
             self.step();
         }
         if self.fates.all_resolved() {
-            StepOutcome::Drained { now: self.now }
+            StepOutcome::Drained { now: self.now, work: self.cache_stats() }
         } else if self.events.peek_time().is_none() {
             StepOutcome::Idle { now: self.now }
         } else {
-            StepOutcome::Advanced { now: self.now }
+            StepOutcome::Advanced { now: self.now, work: self.cache_stats() }
         }
     }
 
@@ -564,23 +592,32 @@ impl<'a> SimCore<'a> {
     /// from the learned PET the same way the mapping phase builds its tails
     /// (the engine's realised finish times are not leaked), so serving-layer
     /// admission controllers can reuse the paper's completion-PMF threshold
-    /// without reimplementing the chain. Note the mapping phase never
-    /// consults a *down* machine's tail (it exposes no free slots); callers
-    /// pricing placement should skip machines for which
-    /// [`SimCore::machine_is_down`] is true. `None` for an unknown machine
-    /// id.
-    #[must_use]
-    pub fn queue_tail_estimate(&self, machine: MachineId) -> Option<Pmf> {
+    /// without reimplementing the chain. Routed through the core's
+    /// persistent [`PolicyCtx`]: repeated calls against an unmoved queue
+    /// are served from the PET×tail cache (see [`SimCore::cache_stats`])
+    /// instead of re-chaining. Note the mapping phase never consults a
+    /// *down* machine's tail (it exposes no free slots); callers pricing
+    /// placement should skip machines for which [`SimCore::machine_is_down`]
+    /// is true. `None` for an unknown machine id.
+    pub fn queue_tail_estimate(&mut self, machine: MachineId) -> Option<Pmf> {
         let m = self.machines.get(machine.index())?;
-        let mut eval = qchain::ChainEvaluator::new();
         Some(queue_tail(
             &self.scenario.pet,
             self.approx_pet.as_ref(),
             self.now,
             m,
             self.config,
-            &mut eval,
+            &mut self.ctx,
         ))
+    }
+
+    /// Cumulative hit/miss counters of the persistent PET×tail cache —
+    /// deterministic for a given trial, surfaced per step through
+    /// [`StepOutcome`] and recorded in `BENCH_core.json` (CI fails on any
+    /// drift at the fixed bench seed).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.cache_stats()
     }
 
     /// Whether `machine` is currently down (failure injection): a down
@@ -742,6 +779,7 @@ impl<'a> SimCore<'a> {
                 busy_ticks: mc.busy_ticks,
                 epoch: mc.epoch,
                 down: mc.down,
+                queue_rev: 0,
             })
             .collect();
         let events = EventQueue::from_snapshot(
@@ -770,6 +808,9 @@ impl<'a> SimCore<'a> {
             now: checkpoint.now,
             mapping_events: checkpoint.mapping_events,
             observers: Vec::new(),
+            // Cache and scratch are derived state: a restored core starts
+            // cold and re-derives identical bytes (tests/tail_cache.rs).
+            ctx: PolicyCtx::new(),
         })
     }
 
@@ -838,6 +879,7 @@ impl<'a> SimCore<'a> {
             Event::MachineFailure(mid) => {
                 let m = &mut machines[mid.index()];
                 m.down = true;
+                m.queue_rev += 1;
                 let lost = m.running.take().map(|r| {
                     m.epoch += 1; // invalidate completion/kill events
                     m.busy_ticks += now - r.start;
@@ -853,6 +895,7 @@ impl<'a> SimCore<'a> {
             Event::MachineRepair(mid) => {
                 let m = &mut machines[mid.index()];
                 m.down = false;
+                m.queue_rev += 1;
                 emit(observers, SimEvent::MachineRepaired { machine: mid, now });
                 start_next(
                     self.scenario,
@@ -884,6 +927,7 @@ impl<'a> SimCore<'a> {
             events,
             fates,
             observers,
+            ctx,
             ..
         } = self;
         let config = *config;
@@ -894,6 +938,7 @@ impl<'a> SimCore<'a> {
 
         // (1) Reactive drops: machine queues and batch queue.
         for m in machines.iter_mut() {
+            let before = m.pending.len();
             m.pending.retain(|qt| {
                 let keep = !qt.task.expired(now);
                 if !keep {
@@ -905,6 +950,9 @@ impl<'a> SimCore<'a> {
                 }
                 keep
             });
+            if m.pending.len() != before {
+                m.queue_rev += 1;
+            }
         }
         batch.retain(|task| {
             let keep = !task.expired(now);
@@ -920,7 +968,7 @@ impl<'a> SimCore<'a> {
 
         // (2) Proactive dropping policy, queue by queue.
         let capacity = scenario.capacity(config.queue_size);
-        let ctx = DropContext {
+        let drop_ctx = DropContext {
             compaction: config.compaction,
             pressure: batch.len() as f64 / capacity as f64,
             approx: config.approx,
@@ -947,7 +995,11 @@ impl<'a> SimCore<'a> {
                 pet,
                 approx_pet,
             };
-            let decision = dropper.select_drops(&view, &ctx);
+            let decision = dropper.select_drops(&view, &drop_ctx, ctx);
+            if !decision.is_empty() {
+                // Drops and degrades both change what a tail chain sees.
+                m.queue_rev += 1;
+            }
             let mut last: Option<usize> = None;
             for &idx in &decision.drops {
                 assert!(idx < m.pending.len(), "dropper returned out-of-range index");
@@ -984,8 +1036,6 @@ impl<'a> SimCore<'a> {
 
         // (3) Mapping heuristic fills free slots from the batch queue.
         if !batch.is_empty() {
-            // One fused evaluator serves every machine's tail chain.
-            let mut tail_eval = qchain::ChainEvaluator::new();
             let machine_views: Vec<MachineView> = machines
                 .iter()
                 .map(|m| {
@@ -998,11 +1048,12 @@ impl<'a> SimCore<'a> {
                     };
                     // Tails are only consulted for machines the mapper can
                     // fill; skipping full queues avoids most of the chain
-                    // work in heavy oversubscription.
+                    // work in heavy oversubscription. The shared ctx serves
+                    // unchanged queues straight from its PET×tail cache.
                     let tail = if free_slots == 0 {
                         Pmf::point(now)
                     } else {
-                        queue_tail(pet, approx_pet, now, m, config, &mut tail_eval)
+                        queue_tail(pet, approx_pet, now, m, config, ctx)
                     };
                     MachineView {
                         machine: m.machine.id,
@@ -1028,7 +1079,7 @@ impl<'a> SimCore<'a> {
                 unmapped: &unmapped,
                 compaction: config.compaction,
             };
-            let assignments = mapper.map(input);
+            let assignments = mapper.map(input, ctx);
 
             let mut taken = vec![false; batch.len()];
             for a in &assignments {
@@ -1042,6 +1093,7 @@ impl<'a> SimCore<'a> {
                     a.machine
                 );
                 m.pending.push_back(QueuedTask { task: batch[a.task_idx], degraded: false });
+                m.queue_rev += 1;
                 emit(
                     observers,
                     SimEvent::Mapped { task: batch[a.task_idx].id, machine: a.machine, now },
@@ -1330,6 +1382,7 @@ fn start_next(
         return; // queue frozen until repair
     }
     while let Some(QueuedTask { task, degraded }) = m.pending.pop_front() {
+        m.queue_rev += 1;
         if task.expired(now) {
             resolve(
                 fates,
@@ -1404,16 +1457,22 @@ fn self_kill_applies(config: SimConfig, r: &RunningTask, now: Tick) -> bool {
 }
 
 /// Completion PMF of the queue tail: where a newly appended task would wait.
-/// Degraded entries chain with the degraded PET. `eval` supplies the fused
-/// chain scratch; one evaluator is shared across a whole mapping event so
-/// the buffers warm up once per event.
+/// Degraded entries chain with the degraded PET.
+///
+/// Served through the persistent [`PolicyCtx`]: the cache key is the
+/// complete input of the chain — the machine's queue revision (pending
+/// content), the predecessor completion `base` (running task + clock) and
+/// the compaction policy — so a hit is bit-identical to recomputation.
+/// Empty queues return `base` directly without touching the cache (no
+/// chain work to save). Misses re-chain with the shared evaluator scratch
+/// and refill the entry.
 fn queue_tail(
     pet: &PetMatrix,
     approx_pet: Option<&PetMatrix>,
     now: Tick,
     m: &MachineSt,
     config: SimConfig,
-    eval: &mut qchain::ChainEvaluator,
+    ctx: &mut PolicyCtx,
 ) -> Pmf {
     let base = match running_view(pet, now, m, config) {
         Some(r) => r.completion,
@@ -1421,6 +1480,10 @@ fn queue_tail(
     };
     if m.pending.is_empty() {
         return base;
+    }
+    let key = m.machine.id.index();
+    if let Some(tail) = ctx.tails.lookup_tail(key, m.queue_rev, &base, config.compaction) {
+        return tail;
     }
     let tasks: Vec<qchain::ChainTask<'_>> = m
         .pending
@@ -1433,7 +1496,9 @@ fn queue_tail(
             }
         })
         .collect();
-    eval.tail(&base, &tasks, config.compaction)
+    let tail = ctx.eval.tail(&base, &tasks, config.compaction);
+    ctx.tails.store_tail(key, m.queue_rev, base, config.compaction, tail.clone());
+    tail
 }
 
 #[cfg(test)]

@@ -72,3 +72,6 @@ pub use metrics::{TaskFate, TrialResult};
 pub use observer::{AdmissionDropKind, DropKind, EventLog, MetricsObserver, SimEvent, SimObserver};
 pub use report::SimReport;
 pub use runner::{RunSpec, TrialRunner};
+// Re-exported so drivers reading `StepOutcome` work counters (or building
+// their own `PolicyCtx`) need not depend on `taskdrop_model` directly.
+pub use taskdrop_model::ctx::{CacheStats, PolicyCtx};

@@ -19,7 +19,7 @@
 //! cargo run --release --example custom_policy -- --quick  # smoke scale
 //! ```
 
-use taskdrop::model::queue::{chain, ChainTask};
+use taskdrop::model::queue::ChainTask;
 use taskdrop::prelude::*;
 
 /// Deals unmapped tasks to machines in round-robin order, one per free slot,
@@ -31,7 +31,7 @@ impl MappingHeuristic for RoundRobin {
         "RoundRobin"
     }
 
-    fn map(&self, input: MappingInput<'_>) -> Vec<Assignment> {
+    fn map(&self, input: MappingInput<'_>, _scratch: &mut PolicyCtx) -> Vec<Assignment> {
         let mut free: Vec<(usize, usize)> =
             input.machines.iter().enumerate().map(|(mi, m)| (mi, m.free_slots)).collect();
         let mut out = Vec::new();
@@ -63,9 +63,17 @@ impl DropPolicy for PanicThreshold {
         "Panic5"
     }
 
-    fn select_drops(&self, queue: &QueueView<'_>, ctx: &DropContext) -> DropDecision {
+    fn select_drops(
+        &self,
+        queue: &QueueView<'_>,
+        ctx: &DropContext,
+        scratch: &mut PolicyCtx,
+    ) -> DropDecision {
+        // The engine-provided scratch keeps even a custom policy
+        // allocation-free: the fused evaluator's buffers persist across
+        // mapping events.
         let tasks: Vec<ChainTask<'_>> = queue.chain_tasks();
-        let links = chain(&queue.base(), &tasks, ctx.compaction);
+        let links = scratch.eval.chain(&queue.base(), &tasks, ctx.compaction);
         DropDecision::drops(
             links.iter().enumerate().filter(|(_, l)| l.chance < 0.05).map(|(i, _)| i).collect(),
         )

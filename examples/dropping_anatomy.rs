@@ -97,7 +97,7 @@ fn main() {
             approx_pet: None,
         };
         let ctx = DropContext::plain(Compaction::None);
-        dropper.select_drops(&queue, &ctx).drops
+        dropper.select_drops_fresh(&queue, &ctx).drops
     });
     println!("  (position 0 = task A is proactively dropped)");
 }

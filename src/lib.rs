@@ -112,6 +112,7 @@ pub mod prelude {
         ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
         ThresholdDropper,
     };
+    pub use taskdrop_model::ctx::{CacheStats, PolicyCtx};
     pub use taskdrop_model::view::{
         Assignment, DropContext, MappingInput, QueueView, UnmappedView,
     };

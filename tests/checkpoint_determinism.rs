@@ -159,3 +159,79 @@ fn open_world_checkpoints_carry_injected_tasks() {
     assert_eq!(extended.total_tasks, 31);
     assert!(extended.is_conserved());
 }
+
+/// The persistent PET×tail cache (DESIGN.md §13) is *derived* state: a
+/// snapshot taken from a warm-cache core serializes to exactly the bytes
+/// a cold-cache twin produces, and the warm→restore→run path is
+/// byte-identical to the cold run. Nothing about the cache — revisions,
+/// entries, counters — may leak into `Checkpoint` v1.
+#[test]
+fn warm_cache_snapshot_equals_cold_snapshot() {
+    let scenario = Scenario::specint(21);
+    let level = OversubscriptionLevel::new("cp4", 160, 1_800);
+    let workload = Workload::generate(&scenario, &level, 1.0, 5);
+    let dropper = ProactiveDropper::paper_default();
+
+    // Warm core: stepping + explicit tail estimates fill the cache.
+    let mut warm = SimCore::new(&scenario, &workload, &Pam, &dropper, quick_config(), 5).unwrap();
+    warm.run_until(700);
+    for m in scenario.machines.clone() {
+        let _ = warm.queue_tail_estimate(m.id);
+    }
+    assert!(warm.cache_stats().lookups() > 0, "the cache must actually be warm");
+    let warm_bytes = serde_json::to_string(&warm.snapshot()).unwrap();
+
+    // Cold twin: restored from those bytes, cache empty, snapshot again.
+    let checkpoint: Checkpoint = serde_json::from_str(&warm_bytes).unwrap();
+    let mut cold = SimCore::restore(&scenario, &Pam, &dropper, &checkpoint).unwrap();
+    assert_eq!(cold.cache_stats().lookups(), 0);
+    let cold_bytes = serde_json::to_string(&cold.snapshot()).unwrap();
+    assert_eq!(warm_bytes, cold_bytes, "cache state leaked into the checkpoint");
+
+    // Warm-cache continuation == cold-cache continuation, byte for byte.
+    assert_eq!(warm.run_to_completion(), cold.run_to_completion());
+}
+
+/// The serialized `Checkpoint` v1 layout is frozen: exactly the seed
+/// PR 3 field set, in which the new cache/revision machinery must never
+/// appear. A failure here means the checkpoint format changed — bump
+/// `CHECKPOINT_VERSION` and write a migration instead.
+#[test]
+fn checkpoint_v1_field_set_is_frozen() {
+    let scenario = Scenario::specint(3);
+    let level = OversubscriptionLevel::new("cp5", 60, 900);
+    let workload = Workload::generate(&scenario, &level, 2.0, 2);
+    let mut core =
+        SimCore::new(&scenario, &workload, &Pam, &ReactiveOnly, quick_config(), 6).unwrap();
+    core.run_until(400);
+    let json = serde_json::to_string(&core.snapshot()).unwrap();
+
+    // Exactly the v1 field set, present by name…
+    for field in [
+        "version",
+        "scenario_name",
+        "scenario_seed",
+        "config",
+        "exec_seed",
+        "now",
+        "mapping_events",
+        "tasks",
+        "fates",
+        "batch",
+        "machines",
+        "events",
+        "event_seq",
+        // MachineCheckpoint fields:
+        "down",
+        "busy_ticks",
+        "epoch",
+        "running",
+        "pending",
+    ] {
+        assert!(json.contains(&format!("\"{field}\":")), "v1 field {field} missing");
+    }
+    // …and none of the derived-state machinery.
+    for forbidden in ["queue_rev", "tail_hits", "tail_misses", "conv_", "cache", "ctx"] {
+        assert!(!json.contains(forbidden), "derived state {forbidden} leaked into checkpoint v1");
+    }
+}
