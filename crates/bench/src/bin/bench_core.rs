@@ -15,6 +15,9 @@
 //! Numbers are wall-clock on whatever machine runs the bench — they
 //! compare builds on one machine, not machines.
 
+// crates/bench is the sanctioned wall-clock scope (taskdrop_lint: wall-clock).
+#![allow(clippy::disallowed_methods)]
+
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;

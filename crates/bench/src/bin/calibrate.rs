@@ -7,6 +7,9 @@
 //! Usage:
 //! `cargo run -p taskdrop-bench --release --bin calibrate [factor] [window] [gammas...]`
 
+// crates/bench is the sanctioned wall-clock scope (taskdrop_lint: wall-clock).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 use taskdrop_sched::HeuristicKind;
 use taskdrop_sim::{DropperKind, RunSpec, SimConfig, TrialRunner};

@@ -82,6 +82,7 @@ pub struct ResultRow {
 }
 
 /// An experiment: an id, a metric name, and a grid of runs.
+#[derive(Debug)]
 pub struct Experiment {
     /// Identifier, e.g. `"fig08"`.
     pub id: &'static str,

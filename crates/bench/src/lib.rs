@@ -17,6 +17,8 @@
 //! arrival *rate* and thus the oversubscription level (see
 //! `taskdrop_workload::OversubscriptionLevel::scaled`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod experiment;

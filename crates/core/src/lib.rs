@@ -30,6 +30,8 @@
 //! droppable (the system model forbids preemption), and the *last* pending
 //! task is excluded because its influence zone is empty (Section IV-D).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod approx_policy;

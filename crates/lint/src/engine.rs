@@ -1,0 +1,537 @@
+//! The rule engine: classify files, apply rules in scope, honour pragmas,
+//! collect ratchet counts.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Finding, Severity};
+use crate::lexer::{scan, Scanned};
+use crate::ratchet::{Ratchet, RatchetStatus};
+use crate::rules::{match_all, rule, Scope, RULES};
+
+/// Which target a file belongs to, inferred from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `src/` of some crate — production code.
+    Src,
+    /// `tests/` — integration tests.
+    Tests,
+    /// `benches/` — bench targets.
+    Benches,
+    /// `examples/` — runnable demos (treated as production code).
+    Examples,
+}
+
+/// A classified workspace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Short crate name: `pmf`, `sim`, …, `bench`, `lint`, or `taskdrop`
+    /// for the umbrella crate.
+    pub krate: String,
+    /// File section within the crate.
+    pub section: Section,
+}
+
+/// Classify a workspace-relative, `/`-separated path. `None` means the
+/// file is out of scope (vendor, fixtures, non-Rust).
+#[must_use]
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") || rel.contains("/fixtures/") {
+        return None;
+    }
+    let section_of = |s: &str| match s {
+        "src" => Some(Section::Src),
+        "tests" => Some(Section::Tests),
+        "benches" => Some(Section::Benches),
+        "examples" => Some(Section::Examples),
+        _ => None,
+    };
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, section, ..] => {
+            Some(FileClass { krate: (*krate).to_string(), section: section_of(section)? })
+        }
+        [section, ..] if parts.len() >= 2 => {
+            Some(FileClass { krate: "taskdrop".to_string(), section: section_of(section)? })
+        }
+        _ => None,
+    }
+}
+
+const SIM_PATH: &[&str] =
+    &["pmf", "stats", "model", "sched", "core", "workload", "sim", "serve", "taskdrop"];
+const CONCURRENCY_CORE: &[&str] = &["sim", "model", "core", "pmf"];
+
+impl Scope {
+    /// Does this scope cover `class`'s crate?
+    #[must_use]
+    pub fn covers(self, class: &FileClass) -> bool {
+        match self {
+            Scope::SimPath => SIM_PATH.contains(&class.krate.as_str()),
+            Scope::NonBench => class.krate != "bench",
+            Scope::Everywhere => true,
+            Scope::ConcurrencyCore => CONCURRENCY_CORE.contains(&class.krate.as_str()),
+            Scope::ServeOnly => class.krate == "serve",
+        }
+    }
+}
+
+/// A parsed `lint:allow` pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    rule: &'static str,
+    /// 1-based line the pragma suppresses (its own line for trailing
+    /// pragmas, the next line for own-line pragmas).
+    target_line: usize,
+    /// Line the comment itself sits on (for unused-pragma diagnostics).
+    comment_line: usize,
+    used: bool,
+}
+
+/// 1-based inclusive line ranges of `#[cfg(test)]` items.
+fn test_spans(scanned: &Scanned) -> Vec<(usize, usize)> {
+    let masked = &scanned.masked;
+    let bytes = masked.as_bytes();
+    let mut spans = Vec::new();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
+        for (start, _) in masked.match_indices(pat) {
+            // Walk forward to the item body: first `{` opens it, a `;`
+            // before any `{` ends a braceless item (e.g. `mod tests;`).
+            let mut i = start + pat.len();
+            let mut open = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' => break,
+                    _ => i += 1,
+                }
+            }
+            let (sl, _) = scanned.line_col(start);
+            let Some(open) = open else {
+                spans.push((sl, scanned.line_col(i.min(bytes.len() - 1)).0));
+                continue;
+            };
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((sl, scanned.line_col(j.min(bytes.len() - 1)).0));
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Parse pragmas out of the scanned comments. Malformed pragmas become
+/// `bare-allow` findings immediately.
+fn parse_pragmas(
+    path: &str,
+    scanned: &Scanned,
+    src_lines: &[&str],
+    findings: &mut Vec<Finding>,
+) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for c in &scanned.comments {
+        let text = c.text.trim_start();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let excerpt = src_lines.get(c.line - 1).map_or(String::new(), |l| l.trim().to_string());
+        let mut bare = |message: String| {
+            findings.push(Finding {
+                rule: "bare-allow",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: c.line,
+                col: 1,
+                message,
+                excerpt: excerpt.clone(),
+            });
+        };
+        // Expect `(<rule>): <non-empty reason>`.
+        let Some(rest) = rest.strip_prefix('(') else {
+            bare(
+                "`lint:allow` pragma without a rule: write `lint:allow(<rule>): <reason>`"
+                    .to_string(),
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bare("unterminated `lint:allow(` pragma".to_string());
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let tail = &rest[close + 1..];
+        let Some(known) = rule(rule_name) else {
+            bare(format!(
+                "`lint:allow({rule_name})` names an unknown rule; known rules: {}",
+                RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            ));
+            continue;
+        };
+        if known.id == "bare-allow" {
+            bare("the `bare-allow` meta-rule cannot be suppressed".to_string());
+            continue;
+        }
+        let reason = tail.strip_prefix(':').map(str::trim);
+        match reason {
+            Some(r) if !r.is_empty() => {
+                pragmas.push(Pragma {
+                    rule: known.id,
+                    target_line: if c.own_line { c.line + 1 } else { c.line },
+                    comment_line: c.line,
+                    used: false,
+                });
+            }
+            _ => bare(format!(
+                "`lint:allow({rule_name})` without a reason: a bare allow is \
+                 itself a violation — write `lint:allow({rule_name}): <why this \
+                 site is safe>`"
+            )),
+        }
+    }
+    pragmas
+}
+
+/// The outcome of linting one file.
+#[derive(Debug)]
+pub struct FileReport {
+    /// Error/Warn findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Ratchet-rule findings (counted, not individually fatal).
+    pub ratchet_sites: Vec<Finding>,
+}
+
+/// Lint a single source text as if it lived at `rel_path` (workspace-
+/// relative, `/`-separated). This is the unit the fixture tests drive.
+#[must_use]
+pub fn check_source(rel_path: &str, src: &str) -> FileReport {
+    let mut findings = Vec::new();
+    let mut ratchet_sites = Vec::new();
+    let Some(class) = classify(rel_path) else {
+        return FileReport { findings, ratchet_sites };
+    };
+    let scanned = scan(src);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let spans = test_spans(&scanned);
+    let mut pragmas = parse_pragmas(rel_path, &scanned, &src_lines, &mut findings);
+
+    let mut hits = match_all(&scanned.masked);
+    hits.sort_by_key(|h| (h.offset, h.rule));
+    let mut seen: Vec<(&'static str, usize)> = Vec::new();
+    for hit in hits {
+        let meta = rule(hit.rule).expect("matchers only emit catalogued rules");
+        if !meta.scope.covers(&class) {
+            continue;
+        }
+        let (line, col) = scanned.line_col(hit.offset);
+        let in_test_code =
+            matches!(class.section, Section::Tests | Section::Benches) || in_spans(&spans, line);
+        if !meta.in_tests && in_test_code {
+            continue;
+        }
+        // Rules with textually overlapping patterns (e.g.
+        // `std::thread::spawn` also matches `thread::spawn`) collapse to
+        // one finding per line.
+        if meta.dedup_per_line {
+            if seen.contains(&(hit.rule, line)) {
+                continue;
+            }
+            seen.push((hit.rule, line));
+        }
+        if let Some(p) = pragmas.iter_mut().find(|p| p.rule == hit.rule && p.target_line == line) {
+            p.used = true;
+            continue;
+        }
+        let finding = Finding {
+            rule: meta.id,
+            severity: meta.severity,
+            path: rel_path.to_string(),
+            line,
+            col,
+            message: hit.message,
+            excerpt: src_lines.get(line - 1).map_or(String::new(), |l| l.trim().to_string()),
+        };
+        if meta.severity == Severity::Ratchet {
+            ratchet_sites.push(finding);
+        } else {
+            findings.push(finding);
+        }
+    }
+
+    for p in pragmas.iter().filter(|p| !p.used) {
+        findings.push(Finding {
+            rule: "bare-allow",
+            severity: Severity::Warn,
+            path: rel_path.to_string(),
+            line: p.comment_line,
+            col: 1,
+            message: format!(
+                "unused `lint:allow({})` pragma — nothing to suppress on line {}; remove it",
+                p.rule, p.target_line
+            ),
+            excerpt: src_lines
+                .get(p.comment_line - 1)
+                .map_or(String::new(), |l| l.trim().to_string()),
+        });
+    }
+
+    findings.sort_by_key(|f| (f.line, f.col));
+    FileReport { findings, ratchet_sites }
+}
+
+/// Full-workspace report.
+#[derive(Debug)]
+pub struct Report {
+    /// Error/Warn findings across all files, in path order.
+    pub findings: Vec<Finding>,
+    /// Per-ratchet-rule status against the committed baseline.
+    pub ratchets: Vec<RatchetStatus>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` if CI must fail: any error-severity finding, or any ratchet
+    /// count above (or missing from) the committed baseline.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+            || self.ratchets.iter().any(RatchetStatus::regressed)
+    }
+}
+
+/// Directories scanned inside the workspace root. `vendor/` is explicitly
+/// out: the stand-ins mirror third-party APIs and are exempt by design.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace under `root`, comparing ratchet counts against
+/// `baseline` (as loaded from `crates/lint/ratchet.json`).
+///
+/// # Errors
+/// Propagates I/O failures reading the tree.
+pub fn run_workspace(root: &Path, baseline: &Ratchet) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut ratchet_sites: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        let mut report = check_source(&rel, &src);
+        findings.append(&mut report.findings);
+        ratchet_sites.append(&mut report.ratchet_sites);
+    }
+
+    let mut ratchets = Vec::new();
+    for meta in RULES.iter().filter(|r| r.severity == Severity::Ratchet) {
+        let sites: Vec<Finding> =
+            ratchet_sites.iter().filter(|f| f.rule == meta.id).cloned().collect();
+        ratchets.push(RatchetStatus {
+            rule: meta.id,
+            count: sites.len(),
+            baseline: baseline.get(meta.id),
+            sites,
+        });
+    }
+
+    Ok(Report { findings, ratchets, files_scanned: files.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/pmf/src/lib.rs").unwrap();
+        assert_eq!(c.krate, "pmf");
+        assert_eq!(c.section, Section::Src);
+        let c = classify("crates/serve/tests/roundtrip.rs").unwrap();
+        assert_eq!(c.krate, "serve");
+        assert_eq!(c.section, Section::Tests);
+        let c = classify("src/lib.rs").unwrap();
+        assert_eq!(c.krate, "taskdrop");
+        assert_eq!(c.section, Section::Src);
+        let c = classify("examples/quickstart.rs").unwrap();
+        assert_eq!(c.section, Section::Examples);
+        assert!(classify("crates/lint/tests/fixtures/pos.rs").is_none());
+        assert!(classify("README.md").is_none());
+        assert!(classify("build.rs").is_none());
+    }
+
+    #[test]
+    fn scope_coverage() {
+        let pmf = classify("crates/pmf/src/lib.rs").unwrap();
+        let bench = classify("crates/bench/src/lib.rs").unwrap();
+        let lint = classify("crates/lint/src/lib.rs").unwrap();
+        let serve = classify("crates/serve/src/lib.rs").unwrap();
+        assert!(Scope::SimPath.covers(&pmf));
+        assert!(!Scope::SimPath.covers(&bench));
+        assert!(!Scope::SimPath.covers(&lint));
+        assert!(!Scope::NonBench.covers(&bench));
+        assert!(Scope::NonBench.covers(&lint));
+        assert!(Scope::ConcurrencyCore.covers(&pmf));
+        assert!(!Scope::ConcurrencyCore.covers(&serve));
+        assert!(Scope::ServeOnly.covers(&serve));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_scoped_out() {
+        let src = "use std::time::Instant;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let _ = Instant::now(); }\n\
+                   }\n\
+                   fn live() {}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+
+        // The same call outside the module fires.
+        let src = format!("{src}\nfn bad() {{ let _ = Instant::now(); }}\n");
+        let r = check_source("crates/sim/src/x.rs", &src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn integration_tests_dir_is_test_code() {
+        let r = check_source("crates/sim/tests/t.rs", "fn f() { let m: HashMap<u8,u8>; }");
+        assert!(r.findings.is_empty());
+        // But entropy is banned even in tests.
+        let r = check_source("crates/sim/tests/t.rs", "fn f() { let r = thread_rng(); }");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "entropy-rng");
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "fn f() { let m: HashMap<u8,u8> = todo!(); } // lint:allow(hash-collections): doc demo of the banned type\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn own_line_pragma_suppresses_next_line() {
+        let src = "// lint:allow(wall-clock): illustrating the hazard\n\
+                   fn f() { let _ = Instant::now(); }\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn pragma_does_not_leak_to_other_lines() {
+        let src = "// lint:allow(wall-clock): only the next line\n\
+                   fn a() { let _ = Instant::now(); }\n\
+                   fn b() { let _ = Instant::now(); }\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn bare_allow_is_a_violation() {
+        for bad in [
+            "// lint:allow(wall-clock)\nfn f() {}\n",
+            "// lint:allow(wall-clock):\nfn f() {}\n",
+            "// lint:allow(wall-clock):   \nfn f() {}\n",
+            "// lint:allow\nfn f() {}\n",
+        ] {
+            let r = check_source("crates/sim/src/x.rs", bad);
+            assert_eq!(r.findings.len(), 1, "{bad:?} -> {:?}", r.findings);
+            assert_eq!(r.findings[0].rule, "bare-allow");
+            assert_eq!(r.findings[0].severity, Severity::Error);
+        }
+    }
+
+    #[test]
+    fn unknown_rule_in_pragma_is_a_violation() {
+        let r =
+            check_source("crates/sim/src/x.rs", "// lint:allow(no-such-rule): reason\nfn f() {}\n");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "bare-allow");
+        assert_eq!(r.findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unused_pragma_warns() {
+        let r = check_source(
+            "crates/sim/src/x.rs",
+            "// lint:allow(wall-clock): nothing here needs it\nfn f() {}\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "bare-allow");
+        assert_eq!(r.findings[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn ratchet_sites_counted_not_fatal() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n";
+        let r = check_source("crates/serve/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.ratchet_sites.len(), 2);
+        // Outside serve, unwrap is nobody's business.
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r.ratchet_sites.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_fire() {
+        let src = "//! ```\n//! let m = HashMap::new();\n//! ```\nfn f() {}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty());
+    }
+}

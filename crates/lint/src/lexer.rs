@@ -1,0 +1,384 @@
+//! A small, honest Rust source scanner.
+//!
+//! `syn` is not available offline, and the lint rules only need to know one
+//! thing the raw bytes cannot tell them: *is this byte code, or is it inside
+//! a comment / string / char literal?* [`scan`] answers that by producing a
+//! **masked** copy of the source — same byte length, same newlines, but with
+//! the contents of every comment, string literal, raw string and char
+//! literal blanked to spaces. Rules then run plain substring/identifier
+//! matching over the masked text and byte offsets map 1:1 back to the
+//! original source for line/column reporting.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), **nested** block comments
+//! (`/* /* */ */`, incl. doc variants), string literals with escapes, byte
+//! strings (`b"…"`), raw and raw-byte strings with any hash depth
+//! (`r"…"`, `r#"…"#`, `br##"…"##`), char and byte-char literals
+//! (`'x'`, `'\n'`, `b'x'`) and the lifetime-vs-char-literal ambiguity
+//! (`'a` in `&'a str` stays code).
+//!
+//! Line comments are additionally recorded verbatim (with position) so the
+//! pragma layer can parse `// lint:allow(rule): reason` annotations.
+
+/// A line comment recorded during scanning, for pragma parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Byte offset of the `//` in the source.
+    pub offset: usize,
+    /// `true` if only whitespace precedes the `//` on its line — the
+    /// pragma then applies to the *next* line instead of its own.
+    pub own_line: bool,
+    /// Comment text *after* the `//` (and after any further `/` or `!`
+    /// doc markers), not trimmed.
+    pub text: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug, Clone)]
+pub struct Scanned {
+    /// The source with comment/string/char-literal contents blanked to
+    /// spaces. Same length as the input; newlines preserved, so byte
+    /// offsets and line numbers are interchangeable with the original.
+    pub masked: String,
+    /// Every line comment, in source order.
+    pub comments: Vec<LineComment>,
+    /// Byte offset of the start of each line (line 1 is `line_starts[0]`).
+    line_starts: Vec<usize>,
+}
+
+impl Scanned {
+    /// Map a byte offset to a 1-based `(line, column)` pair.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The original-length line (trimmed) containing `offset`, taken from
+    /// the masked text — good enough for excerpts since only comment and
+    /// string *contents* are blanked.
+    #[must_use]
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(self.masked.len(), |&e| e);
+        self.masked[start..end].trim_end_matches(['\n', '\r'])
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scan `src`, blanking every non-code byte. See the module docs.
+#[must_use]
+pub fn scan(src: &str) -> Scanned {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut comments = Vec::new();
+    let mut line_starts = vec![0usize];
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blank out[from..to], preserving newlines, and keep line accounting.
+    // Returns nothing; caller advances `i` itself.
+    macro_rules! blank {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if out[k] != b'\n' {
+                    out[k] = b' ';
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            line_starts.push(i + 1);
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            let mut j = i + 2;
+            // Skip doc markers so pragma text starts clean.
+            while j < b.len() && (b[j] == b'/' || b[j] == b'!') {
+                j += 1;
+            }
+            let mut end = i;
+            while end < b.len() && b[end] != b'\n' {
+                end += 1;
+            }
+            let own_line = src[line_starts[line - 1]..start].chars().all(char::is_whitespace);
+            comments.push(LineComment {
+                line,
+                offset: start,
+                own_line,
+                text: src[j.min(end)..end].to_string(),
+            });
+            blank!(start, end);
+            i = end;
+            continue;
+        }
+        // Block comment (nests).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'\n' {
+                    line += 1;
+                    line_starts.push(j + 1);
+                    j += 1;
+                } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank!(start, j);
+            i = j;
+            continue;
+        }
+        // Raw / raw-byte string: r"…", r#"…"#, br##"…"## — only when the
+        // prefix letter is not part of a longer identifier.
+        if (c == b'r' || c == b'b') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            if c == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' || (c == b'r' && j == i) {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' && b[j] == b'r' {
+                    // Find the terminator `"` + hashes.
+                    let mut m = k + 1;
+                    'raw: while m < b.len() {
+                        if b[m] == b'\n' {
+                            line += 1;
+                            line_starts.push(m + 1);
+                            m += 1;
+                            continue;
+                        }
+                        if b[m] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && m + 1 + h < b.len() && b[m + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                m += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        m += 1;
+                    }
+                    // Blank everything including the delimiters: the
+                    // prefix/hashes carry no code meaning rules care about.
+                    blank!(i, m);
+                    i = m;
+                    continue;
+                }
+            }
+            // Fall through: plain identifier starting with r/b, or b"…"
+            // handled below when we reach the quote after `b`.
+            if c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+                // byte string: let the `"` branch handle it from i+1.
+                i += 1;
+                continue;
+            }
+            if c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+                // byte char literal: let the `'` branch handle it.
+                i += 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // String literal with escapes. Delimiting quotes stay visible.
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == b'\\' && j + 1 < b.len() {
+                    j += 2;
+                } else if b[j] == b'"' {
+                    break;
+                } else {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        line_starts.push(j + 1);
+                    }
+                    j += 1;
+                }
+            }
+            blank!(i + 1, j.min(b.len()));
+            i = (j + 1).min(b.len());
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                // Escaped char literal: consume to closing quote.
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                blank!(i + 1, j.min(b.len()));
+                i = (j + 1).min(b.len());
+                continue;
+            }
+            // 'x' (any single non-quote byte then a quote) is a char
+            // literal; anything else ('a in &'a str, '_, 'static) is a
+            // lifetime and stays code.
+            if i + 2 < b.len() && b[i + 1] != b'\'' && b[i + 2] == b'\'' {
+                blank!(i + 1, i + 2);
+                i += 3;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    Scanned {
+        masked: String::from_utf8(out).expect("masking only writes ASCII spaces"),
+        comments,
+        line_starts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_recorded() {
+        let s = scan("let x = 1; // trailing HashMap\n// own line\nlet y = 2;\n");
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("let x = 1;"));
+        assert_eq!(s.comments.len(), 2);
+        assert!(!s.comments[0].own_line);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[1].own_line);
+        assert_eq!(s.comments[1].line, 2);
+        assert_eq!(s.comments[1].text, " own line");
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped_from_text() {
+        let s = scan("/// doc text\n//! inner doc\nfn f() {}\n");
+        assert_eq!(s.comments[0].text, " doc text");
+        assert_eq!(s.comments[1].text, " inner doc");
+        assert!(s.masked.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn nested_block_comments_fully_blank() {
+        let src = "a /* outer /* inner thread_rng */ still out */ b\n";
+        let s = scan(src);
+        assert!(!s.masked.contains("thread_rng"));
+        assert!(!s.masked.contains("still out"));
+        assert!(s.masked.starts_with('a'));
+        assert!(s.masked.contains('b'));
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn multiline_block_comment_keeps_line_numbers() {
+        let s = scan("a\n/* x\n y\n z */\nfn tail() {}\n");
+        let off = s.masked.find("tail").unwrap();
+        assert_eq!(s.line_col(off), (5, 4));
+    }
+
+    #[test]
+    fn strings_blank_contents_keep_delimiters() {
+        let s = scan(r#"let p = "std::collections::HashMap"; let q = 1;"#);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains(r#"let p = ""#));
+        assert!(s.masked.contains("let q = 1;"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate_string() {
+        let s = scan(r#"let p = "a\"Instant::now\"b"; let ok = 2;"#);
+        assert!(!s.masked.contains("Instant"));
+        assert!(s.masked.contains("let ok = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let s = scan(r###"let a = r"thread_rng"; let b = r#"x "quoted" HashSet"#; done();"###);
+        assert!(!s.masked.contains("thread_rng"));
+        assert!(!s.masked.contains("HashSet"));
+        assert!(s.masked.contains("done();"));
+    }
+
+    #[test]
+    fn raw_string_embedded_hash_quote_needs_full_terminator() {
+        let src = "let a = r##\"inner \"# not end HashMap\"##; after();";
+        let s = scan(src);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("after();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let s = scan(r##"let a = b"from_entropy"; let c = br#"rand::random"#; end();"##);
+        assert!(!s.masked.contains("from_entropy"));
+        assert!(!s.masked.contains("rand::random"));
+        assert!(s.masked.contains("end();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let s = scan("let var_r = 1; let b = 2;\n");
+        assert!(s.masked.contains("var_r = 1"));
+        assert!(s.masked.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { let c = 'y'; let e = '\\n'; c }");
+        assert!(s.masked.contains("<'a>"));
+        assert!(s.masked.contains("&'a str"));
+        assert!(!s.masked.contains("'y'"));
+        assert!(s.masked.contains("let c = '"));
+    }
+
+    #[test]
+    fn comment_inside_string_is_not_a_comment() {
+        let s = scan(r#"let url = "http://example.com"; let after = 1;"#);
+        assert!(s.masked.contains("let after = 1;"));
+        assert!(s.comments.is_empty());
+    }
+
+    #[test]
+    fn string_inside_comment_is_not_a_string() {
+        let s = scan("// \"unterminated\nlet live = 1;\n");
+        assert!(s.masked.contains("let live = 1;"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn line_col_roundtrip() {
+        let s = scan("ab\ncd\nef\n");
+        let off = s.masked.find("ef").unwrap();
+        assert_eq!(s.line_col(off), (3, 1));
+        assert_eq!(s.line_col(off + 1), (3, 2));
+        assert_eq!(s.line_text(2), "cd");
+    }
+}

@@ -1,0 +1,37 @@
+//! `taskdrop_lint` — the workspace's determinism & concurrency-readiness
+//! static-analysis pass.
+//!
+//! Every claim this reproduction makes — the paper's robustness numbers,
+//! the fused-evaluator perf wins, checkpoint kill/restore — rests on
+//! bit-identical determinism, and the upcoming threaded `ServiceDriver`
+//! raises the stakes: one stray `HashMap` iteration or entropy-seeded RNG
+//! silently breaks the "byte-identical at any thread count" invariant that
+//! the differential suites can only catch after the fact. This crate is
+//! the layer that *prevents* those hazards from entering the tree.
+//!
+//! It is deliberately humble machinery: a hand-rolled comment/string/
+//! raw-string-aware scanner ([`lexer`]) masks every non-code byte, a rule
+//! engine ([`engine`]) runs ~8 catalogued pattern rules ([`rules`]) over
+//! the masked text with per-crate scoping and `#[cfg(test)]` awareness,
+//! a `// lint:allow(<rule>): <reason>` pragma grants scoped, *explained*
+//! exemptions (a bare allow is itself a violation), and count-gated rules
+//! compare against a committed [`ratchet`] baseline that may only go down.
+//!
+//! `cargo run -p taskdrop_lint` is the CI entry point; see DESIGN.md §14
+//! for the rule catalogue and the policy behind it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod ratchet;
+pub mod rules;
+
+pub use diag::{Finding, FindingJson, Severity};
+pub use engine::{check_source, classify, run_workspace, FileClass, FileReport, Report, Section};
+pub use lexer::{scan, LineComment, Scanned};
+pub use ratchet::{Ratchet, RatchetEntry, RatchetStatus};
+pub use rules::{rule, Rule, Scope, RULES};

@@ -1,0 +1,189 @@
+//! CI entry point: lint the workspace, print diagnostics, gate on errors
+//! and ratchet regressions.
+//!
+//! ```text
+//! cargo run -p taskdrop_lint --release [-- --json] [--update-ratchet] [--root <dir>] [--rules]
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` error findings or ratchet
+//! regression, `2` usage/I-O trouble.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+use taskdrop_lint::{run_workspace, FindingJson, Ratchet, Severity, RULES};
+
+/// `--json` payload: findings plus per-ratchet status.
+#[derive(Debug, Serialize)]
+struct JsonReport {
+    ok: bool,
+    files_scanned: usize,
+    findings: Vec<FindingJson>,
+    ratchets: Vec<JsonRatchet>,
+}
+
+#[derive(Debug, Serialize)]
+struct JsonRatchet {
+    rule: String,
+    count: usize,
+    baseline: Option<usize>,
+    regressed: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: taskdrop_lint [--json] [--update-ratchet] [--root <dir>] [--rules]\n\
+         Lints all taskdrop_* crates for determinism & concurrency-readiness\n\
+         hazards (DESIGN.md §14). Exit 1 on error findings or ratchet regression."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(wall-clock): CLI self-timing polices the <5 s CI budget; this never touches the sim path
+    let started = Instant::now();
+    let mut json = false;
+    let mut update_ratchet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-ratchet" => update_ratchet = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--rules" => {
+                for r in RULES {
+                    println!("{:<20} {:<8} {}", r.id, r.severity.as_str(), r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // Default root: two levels up from this crate's manifest — the
+    // workspace root — so `cargo run -p taskdrop_lint` works from anywhere.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    let ratchet_path = root.join("crates").join("lint").join("ratchet.json");
+    let baseline = match Ratchet::load(&ratchet_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("taskdrop_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_workspace(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("taskdrop_lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_ratchet {
+        let counts: Vec<(&str, usize)> =
+            report.ratchets.iter().map(|r| (r.rule, r.count)).collect();
+        if let Err(e) = Ratchet::from_counts(&counts).save(&ratchet_path) {
+            eprintln!("taskdrop_lint: failed to write {}: {e}", ratchet_path.display());
+            return ExitCode::from(2);
+        }
+        println!("ratchet updated: {}", ratchet_path.display());
+    }
+
+    // --update-ratchet forgives ratchet drift (it just recorded the new
+    // baseline) but never error-severity findings.
+    let error_fail = report.findings.iter().any(|f| f.severity == Severity::Error);
+    let ratchet_fail =
+        !update_ratchet && report.ratchets.iter().any(taskdrop_lint::RatchetStatus::regressed);
+    let failed = error_fail || ratchet_fail;
+
+    if json {
+        let payload = JsonReport {
+            ok: !failed,
+            files_scanned: report.files_scanned,
+            findings: report.findings.iter().map(FindingJson::from).collect(),
+            ratchets: report
+                .ratchets
+                .iter()
+                .map(|r| JsonRatchet {
+                    rule: r.rule.to_string(),
+                    count: r.count,
+                    baseline: r.baseline,
+                    regressed: r.regressed() && !update_ratchet,
+                })
+                .collect(),
+        };
+        match serde_json::to_string_pretty(&payload) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("taskdrop_lint: JSON encoding failed: {e:?}");
+                return ExitCode::from(2);
+            }
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    let errors = report.findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warns = report.findings.len() - errors;
+    for r in &report.ratchets {
+        if r.regressed() && !update_ratchet {
+            match r.baseline {
+                Some(b) => println!(
+                    "ratchet[{}]: REGRESSED — {} sites vs committed baseline {}; \
+                     fix the new sites or (after review) run --update-ratchet",
+                    r.rule, r.count, b
+                ),
+                None => println!(
+                    "ratchet[{}]: no committed baseline for {} sites; \
+                     run --update-ratchet to record one",
+                    r.rule, r.count
+                ),
+            }
+            for site in &r.sites {
+                println!("{}", site.render());
+            }
+        } else if r.improvable() {
+            println!(
+                "ratchet[{}]: improved — {} sites vs baseline {}; \
+                 run --update-ratchet to lock the gain in",
+                r.rule,
+                r.count,
+                r.baseline.unwrap_or(0)
+            );
+        } else {
+            println!(
+                "ratchet[{}]: {} sites (baseline {}) ok",
+                r.rule,
+                r.count,
+                r.baseline.unwrap_or(0)
+            );
+        }
+    }
+    println!(
+        "taskdrop_lint: {} files, {} errors, {} warnings in {:.2?} — {}",
+        report.files_scanned,
+        errors,
+        warns,
+        started.elapsed(),
+        if failed { "FAIL" } else { "ok" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

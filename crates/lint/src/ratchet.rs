@@ -1,0 +1,147 @@
+//! The ratchet: committed per-rule counts that may only decrease.
+//!
+//! Count-gated rules (today: `serve-unwrap`) don't fail on existing debt —
+//! they fail on *new* debt. The committed baseline lives in
+//! `crates/lint/ratchet.json`; CI fails when a count exceeds its baseline
+//! (or has no baseline at all), and `--update-ratchet` re-records current
+//! counts after genuine clean-ups.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diag::Finding;
+
+/// One committed count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatchetEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Highest permitted finding count.
+    pub count: usize,
+}
+
+/// The committed baseline file contents.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ratchet {
+    /// Entries, kept sorted by rule id for a stable on-disk form.
+    pub entries: Vec<RatchetEntry>,
+}
+
+impl Ratchet {
+    /// Baseline for `rule`, if recorded.
+    #[must_use]
+    pub fn get(&self, rule: &str) -> Option<usize> {
+        self.entries.iter().find(|e| e.rule == rule).map(|e| e.count)
+    }
+
+    /// Build a baseline from `(rule, count)` pairs.
+    #[must_use]
+    pub fn from_counts(counts: &[(&str, usize)]) -> Self {
+        let mut entries: Vec<RatchetEntry> = counts
+            .iter()
+            .map(|&(rule, count)| RatchetEntry { rule: rule.to_string(), count })
+            .collect();
+        entries.sort_by(|a, b| a.rule.cmp(&b.rule));
+        Ratchet { entries }
+    }
+
+    /// Load from `path`. A missing file is an empty baseline (every
+    /// ratcheted rule then reads as a regression until recorded).
+    ///
+    /// # Errors
+    /// I/O failures other than not-found, and malformed JSON.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed ratchet file {}: {e:?}", path.display()),
+                )
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Ratchet::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write to `path` as pretty JSON (stable order, trailing newline).
+    ///
+    /// # Errors
+    /// I/O failures writing the file.
+    pub fn save(&self, path: &Path) -> std::io::Result<Self> {
+        let mut sorted = self.clone();
+        sorted.entries.sort_by(|a, b| a.rule.cmp(&b.rule));
+        let json = serde_json::to_string_pretty(&sorted)
+            .map_err(|e| std::io::Error::other(format!("serialize ratchet: {e:?}")))?;
+        std::fs::write(path, json + "\n")?;
+        Ok(sorted)
+    }
+}
+
+/// Outcome of one ratcheted rule against the baseline.
+#[derive(Debug)]
+pub struct RatchetStatus {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Findings counted in this run.
+    pub count: usize,
+    /// Committed baseline, if any.
+    pub baseline: Option<usize>,
+    /// The individual sites (printed on regression).
+    pub sites: Vec<Finding>,
+}
+
+impl RatchetStatus {
+    /// A count above the baseline fails the run; a missing baseline counts
+    /// as zero (debt-free trees need no ratchet file).
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.count > self.baseline.unwrap_or(0)
+    }
+
+    /// The baseline can be tightened (count went down).
+    #[must_use]
+    pub fn improvable(&self) -> bool {
+        self.baseline.is_some_and(|b| self.count < b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_baseline_reads_as_zero() {
+        let mk =
+            |count| RatchetStatus { rule: "serve-unwrap", count, baseline: None, sites: vec![] };
+        assert!(!mk(0).regressed(), "debt-free trees need no ratchet file");
+        assert!(mk(1).regressed(), "any unrecorded debt fails");
+    }
+
+    #[test]
+    fn count_above_baseline_regresses_below_improves() {
+        let mk = |count, baseline| RatchetStatus {
+            rule: "serve-unwrap",
+            count,
+            baseline: Some(baseline),
+            sites: vec![],
+        };
+        assert!(mk(5, 4).regressed());
+        assert!(!mk(4, 4).regressed());
+        assert!(!mk(3, 4).regressed());
+        assert!(mk(3, 4).improvable());
+        assert!(!mk(4, 4).improvable());
+    }
+
+    #[test]
+    fn roundtrip_via_json() {
+        let r = Ratchet::from_counts(&[("serve-unwrap", 29), ("other", 3)]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Ratchet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("serve-unwrap"), Some(29));
+        assert_eq!(back.get("other"), Some(3));
+        assert_eq!(back.get("absent"), None);
+        // from_counts sorts for a stable on-disk form.
+        assert_eq!(r.entries[0].rule, "other");
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: the vendored crossbeam/parking_lot layer is the sanctioned path.
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn fan_out() {
+    let slot = Arc::new(Mutex::new(0u64));
+    let n = AtomicU64::new(0);
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| n.fetch_add(*slot.lock(), Ordering::SeqCst));
+    })
+    .unwrap();
+}

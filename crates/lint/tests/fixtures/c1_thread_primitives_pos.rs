@@ -1,0 +1,9 @@
+// Fixture: C1 must fire on ad-hoc std threading in the simulation core.
+use std::sync::{Arc, Mutex};
+
+fn race() {
+    let slot = Arc::new(Mutex::new(0u64));
+    let h = std::thread::spawn(move || *slot.lock().unwrap());
+    let _ = h.join();
+    let _rw: std::sync::RwLock<u8> = std::sync::RwLock::new(0);
+}

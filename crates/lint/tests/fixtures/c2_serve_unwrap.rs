@@ -1,0 +1,22 @@
+// Fixture: C2 counts production .unwrap()/.expect() method calls only.
+fn three(a: Option<u8>, b: Option<u8>, c: Option<u8>) -> u8 {
+    let x = a.unwrap();
+    let y = b.expect("b is set");
+    let z = c
+        .unwrap();
+    x + y + z
+}
+
+fn not_counted(d: Option<u8>) -> u8 {
+    d.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_are_free() {
+        assert_eq!(super::three(Some(1), Some(2), Some(3)).unwrap_or(6), 6);
+        let v: Option<u8> = Some(4);
+        let _ = v.unwrap();
+    }
+}

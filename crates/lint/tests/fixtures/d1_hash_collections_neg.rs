@@ -1,0 +1,12 @@
+// Fixture: ordered/keyed alternatives and masked mentions must not fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Docs may say HashMap freely; comments too: HashMap HashSet.
+fn build() -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    let _names = ["HashMap", "HashSet"];
+    let _s: BTreeSet<u64> = [1].into_iter().collect();
+    let _custom = FxHashMap::default();
+    m
+}

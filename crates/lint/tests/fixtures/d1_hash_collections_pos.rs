@@ -1,0 +1,13 @@
+// Fixture: D1 must fire on std unordered collections in sim-path code.
+use std::collections::HashMap;
+
+fn build() -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+fn dedupe(xs: &[u64]) -> usize {
+    let s: std::collections::HashSet<u64> = xs.iter().copied().collect();
+    s.len()
+}

@@ -1,0 +1,16 @@
+// Fixture: virtual time, masked mentions and test-scoped reads are fine.
+fn tick(now: u64) -> u64 {
+    // Instant::now() would be a hazard here, says this comment.
+    let _pattern = "Instant::now";
+    now + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_tests_may_use_the_wall_clock() {
+        let _t = Instant::now();
+    }
+}

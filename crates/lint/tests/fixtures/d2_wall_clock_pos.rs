@@ -1,0 +1,6 @@
+// Fixture: D2 must fire on wall-clock reads outside crates/bench.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

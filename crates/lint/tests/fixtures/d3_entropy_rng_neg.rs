@@ -1,0 +1,5 @@
+// Fixture: seed-keyed draws are the sanctioned path.
+fn draws(exec_seed: u64) -> u64 {
+    let mut r = new_rng(derive_seed(exec_seed, 7));
+    r.next_u64()
+}

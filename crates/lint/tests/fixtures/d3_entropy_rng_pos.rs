@@ -1,0 +1,7 @@
+// Fixture: D3 must fire on every entropy-seeded RNG entry point.
+fn draws() {
+    let mut r = rand::thread_rng();
+    let s = SmallRng::from_entropy();
+    let x: f64 = rand::random();
+    let _ = (r, s, x);
+}

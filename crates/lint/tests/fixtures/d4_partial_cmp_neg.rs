@@ -1,0 +1,11 @@
+// Fixture: total_cmp and non-unwrapped partial_cmp are fine.
+use std::cmp::Ordering;
+
+fn sort_keys(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs
+}
+
+fn tolerant(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}

@@ -1,0 +1,10 @@
+// Fixture: D4 must fire on NaN-lossy comparators.
+fn sort_keys(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+fn sort_expect(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs
+}

@@ -1,0 +1,4 @@
+// Fixture: CLI argument parsing and typed config are the sanctioned path.
+fn parse() -> Vec<String> {
+    std::env::args().skip(1).collect()
+}

@@ -1,0 +1,5 @@
+// Fixture: D5 must fire on environment reads/writes in sim-path crates.
+fn tune() -> usize {
+    std::env::set_var("TASKDROP_DEPTH", "4");
+    std::env::var("TASKDROP_DEPTH").map_or(6, |v| v.parse().unwrap_or(6))
+}

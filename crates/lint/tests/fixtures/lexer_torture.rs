@@ -1,0 +1,20 @@
+// Fixture: every banned pattern below is inside a masked region — except
+// the single real finding on the last line.
+/* block comment: Instant::now() thread_rng() HashMap
+   /* nested: SystemTime::now() env::var */
+   still comment: rand::random */
+fn strings<'a>(tag: &'a str) -> String {
+    let plain = "use std::collections::HashMap; thread_rng();";
+    let escaped = "quote \" then Instant::now()";
+    let raw = r#"env::var("X") and "from_entropy""#;
+    let deep = r##"hash-quote "# inside: std::sync::Mutex"##;
+    let byte = b"rand::random";
+    let rawbyte = br#"SystemTime::now()"#;
+    let ch = '"';
+    let nl = '\n';
+    format!("{tag}{plain}{escaped}{raw}{deep}{ch}{nl}{:?}{:?}", byte, rawbyte)
+}
+
+fn the_real_finding() {
+    let _ = std::time::Instant::now();
+}

@@ -1,0 +1,10 @@
+// Fixture: allows without a reason are themselves violations.
+fn a() {
+    // lint:allow(wall-clock)
+    let _x = 1;
+}
+
+fn b() {
+    // lint:allow(wall-clock):
+    let _x = 1;
+}

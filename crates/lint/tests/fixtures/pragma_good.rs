@@ -1,0 +1,9 @@
+// Fixture: a reasoned allow suppresses exactly its target line.
+fn pool_size() -> usize {
+    // lint:allow(thread-primitives): sizes a worker pool; results are thread-count-invariant
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn stamp() {
+    let _t = std::time::Instant::now(); // lint:allow(wall-clock): trailing-form demo of the pragma
+}

@@ -1,0 +1,5 @@
+// Fixture: an allow naming an unknown rule is a violation.
+fn a() {
+    // lint:allow(made-up-rule): this rule does not exist
+    let _x = 1;
+}

@@ -1,0 +1,5 @@
+// Fixture: a reasoned allow with nothing to suppress is flagged (warn).
+fn clean() {
+    // lint:allow(wall-clock): nothing on the next line actually reads the clock
+    let _x = 1;
+}

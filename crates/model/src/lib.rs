@@ -18,6 +18,8 @@
 //!   evaluators and keyed PET×tail convolution cache ([`PolicyCtx`])
 //!   threaded through every policy and mapper call.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod approx;

@@ -35,6 +35,8 @@
 //! assert!((completion.mass_before(deadline) - 0.78).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod chain;

@@ -25,6 +25,8 @@
 //! All heuristics are deterministic: ties ultimately break on task id and
 //! machine id.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod ordered;

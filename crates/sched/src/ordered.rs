@@ -71,7 +71,7 @@ impl MappingHeuristic for OrderedHeuristic {
                 OrderKey::Deadline => tb.deadline as f64,
                 OrderKey::MeanExec => pet.type_mean(tb.type_id),
             };
-            ka.partial_cmp(&kb).expect("finite keys").then(ta.id.cmp(&tb.id))
+            ka.total_cmp(&kb).then(ta.id.cmp(&tb.id))
         });
 
         let mut tail_means: Vec<f64> =

@@ -36,6 +36,19 @@ pub struct ServiceDriver<'a> {
     epoch_log: Vec<Tick>,
 }
 
+impl std::fmt::Debug for ServiceDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceDriver")
+            .field("shards", &self.shards)
+            .field("clock", &self.clock)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("next_checkpoint", &self.next_checkpoint)
+            .field("has_checkpoint", &self.has_checkpoint)
+            .field("epoch_log_len", &self.epoch_log.len())
+            .finish()
+    }
+}
+
 impl<'a> ServiceDriver<'a> {
     /// An empty driver at clock 0 with no automatic checkpoints.
     #[must_use]

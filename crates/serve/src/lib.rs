@@ -50,6 +50,8 @@
 //!
 //! [`kill_and_restore`]: ServiceDriver::kill_and_restore
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod admission;

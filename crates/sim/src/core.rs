@@ -276,6 +276,22 @@ pub struct SimCore<'a> {
     ctx: PolicyCtx,
 }
 
+// Manual impl: the mapper/dropper are `&dyn` references whose traits don't
+// (and shouldn't) require `Debug`; summarise the trial state instead.
+impl std::fmt::Debug for SimCore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCore")
+            .field("now", &self.now)
+            .field("exec_seed", &self.exec_seed)
+            .field("tasks", &self.tasks.len())
+            .field("batch", &self.batch.len())
+            .field("machines", &self.machines.len())
+            .field("mapping_events", &self.mapping_events)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> SimCore<'a> {
     /// Assembles a trial from a pre-generated workload. `exec_seed` drives
     /// the *actual* execution-time draws; each (task, machine) pair gets an

@@ -36,6 +36,12 @@ pub struct Simulation<'a> {
     core: SimCore<'a>,
 }
 
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation").field("core", &self.core).finish()
+    }
+}
+
 impl<'a> Simulation<'a> {
     /// Assembles a trial. `exec_seed` drives the *actual* execution-time
     /// draws; each (task, machine) pair gets an independent deterministic

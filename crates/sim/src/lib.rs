@@ -46,6 +46,8 @@
 //! surfaces as a typed [`SimError`] from the `Result`-returning entry
 //! points; the legacy wrappers panic on the same conditions.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;

@@ -57,6 +57,7 @@ impl TrialRunner {
         if self.threads > 0 {
             self.threads
         } else {
+            // lint:allow(thread-primitives): sizes the crossbeam worker pool only; results are thread-count-invariant (pinned by tests/determinism.rs)
             std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }

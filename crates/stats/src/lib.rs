@@ -18,6 +18,8 @@
 //! * [`derive_seed`] — SplitMix64 seed derivation so parallel trials get
 //!   independent, reproducible streams.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod histogram;

@@ -28,6 +28,8 @@
 //! serializable integer cursors, so a checkpointed stream resumes
 //! byte-identically.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod arrival;

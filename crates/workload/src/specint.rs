@@ -130,9 +130,8 @@ mod tests {
         // Stronger inconsistency check: the argmin machine is not the same
         // for every task type.
         let t = specint_mean_table();
-        let argmin = |row: &Vec<f64>| {
-            row.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
-        };
+        let argmin =
+            |row: &Vec<f64>| row.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         let mins: Vec<usize> = t.iter().map(argmin).collect();
         let mut unique = mins.clone();
         unique.sort_unstable();

@@ -60,9 +60,8 @@ mod tests {
     fn inconsistent_vm_affinity() {
         let t = transcode_mean_table();
         // GPU is best for codec but not for resolution.
-        let argmin = |r: &Vec<f64>| {
-            r.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
-        };
+        let argmin =
+            |r: &Vec<f64>| r.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(argmin(&t[3]), 3, "GPU must win codec changes");
         assert_ne!(argmin(&t[0]), 3, "GPU must not win resolution scaling");
     }

@@ -34,6 +34,9 @@
 //!   [`ServicePlan`](service::ServicePlan) naming a whole shard fleet, run
 //!   to an idle [`ServiceReport`](service::ServiceReport) in one call.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod experiment;
 pub mod service;
 

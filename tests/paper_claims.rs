@@ -8,7 +8,7 @@
 //! matter how many tests consult it. Results are deterministic under the
 //! fixed master seed, so sharing cannot couple the tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, LazyLock, Mutex, OnceLock};
 use taskdrop::prelude::*;
 
@@ -25,8 +25,8 @@ static TRANSCODE: LazyLock<Scenario> = LazyLock::new(|| Scenario::transcode(0xA5
 /// unrelated tests.
 type ReportCell = Arc<OnceLock<Arc<SimReport>>>;
 
-static CACHE: LazyLock<Mutex<HashMap<String, ReportCell>>> =
-    LazyLock::new(|| Mutex::new(HashMap::new()));
+static CACHE: LazyLock<Mutex<BTreeMap<String, ReportCell>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
 
 fn report(
     scenario: &Scenario,
