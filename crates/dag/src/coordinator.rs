@@ -1,0 +1,753 @@
+//! The dependency-aware execution coordinator.
+//!
+//! A [`DagCoordinator`] layers graph semantics on top of an open-world
+//! [`SimCore`] without touching the engine: nodes whose predecessors have
+//! not yet delivered are **held** outside the core; each time a node's
+//! last predecessor completes, the node is *released* — optionally priced
+//! by [`PrunePolicy::PruneSubtree`] and chain-aware admission, optionally
+//! merged with an identical concurrent release — and injected through
+//! [`SimCore::inject`] with its deadline anchored at the release instant.
+//! Terminal engine events flow back through a [`DagTap`]; a failed node
+//! (dropped, killed, or lost) **cascade-forfeits** every descendant on
+//! the spot, each forfeit surfaced to the core's observers as
+//! [`SimEvent::CascadeForfeited`] so stream-reconstructed accounting
+//! (`MetricsObserver`) stays conserved.
+//!
+//! The whole coordinator is plain serializable data — graphs, node
+//! states, in-flight fan-outs, merge index, admission controller,
+//! counters — so [`DagCoordinator::snapshot`] plus the core's own
+//! checkpoint captures a mid-flight graph workload wholesale, and
+//! resuming from [`DagCheckpoint::restore`] is byte-identical to never
+//! having stopped (the tap is derived state: attach a fresh one).
+
+use crate::chance::subtree_chances;
+use crate::error::DagError;
+use crate::graph::TaskGraph;
+use crate::stats::DagStats;
+use crate::tap::DagTap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use taskdrop_core::DropPolicy;
+use taskdrop_model::{TaskId, TaskTypeId};
+use taskdrop_pmf::Tick;
+use taskdrop_sched::MappingHeuristic;
+use taskdrop_serve::{AdmissionController, QueueTails};
+use taskdrop_sim::{Checkpoint, ForfeitKind, SimCore, SimEvent, TaskFate};
+use taskdrop_workload::{OfferedTask, Scenario};
+
+/// Whether whole subtrees are shed at release time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum PrunePolicy {
+    /// Release every ready node unconditionally.
+    #[default]
+    Off,
+    /// At release, estimate the node's critical-path subtree chance
+    /// ([`subtree_chances`]) against freshly captured queue tails and
+    /// forfeit the node *and its whole subtree* below `threshold` — the
+    /// paper's probabilistic pruning lifted from tasks to chains: work
+    /// whose weakest downstream link is already doomed never wastes a
+    /// queue slot.
+    PruneSubtree {
+        /// Minimum acceptable subtree chance in `[0, 1]`.
+        threshold: f64,
+    },
+}
+
+/// A node address: which graph, which node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeRef {
+    /// Index of the graph in its coordinator (from
+    /// [`DagCoordinator::add_graph`]).
+    pub graph: u32,
+    /// Node index within the graph.
+    pub node: u32,
+}
+
+/// Where one graph node currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Waiting for predecessors; the core has never seen this node.
+    Held,
+    /// Released and injected (or merged into) an engine task whose fate
+    /// is still open.
+    Injected(TaskId),
+    /// Terminal. [`TaskFate::Forfeited`] means the node was never
+    /// injected: a predecessor failed, its subtree was pruned, or
+    /// admission shed it.
+    Resolved(TaskFate),
+}
+
+/// One registered graph plus its mutable execution state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GraphRun {
+    graph: TaskGraph,
+    state: Vec<NodeState>,
+    /// Per node: predecessors that have not yet delivered output.
+    unmet: Vec<u32>,
+}
+
+/// The key two releases must share to ride one execution: same release
+/// tick, same task type, same absolute deadline — an identical request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct MergeKey {
+    arrival: Tick,
+    type_id: TaskTypeId,
+    deadline: Tick,
+}
+
+/// Coordinates any number of [`TaskGraph`]s over one open-world core.
+/// See the module docs for the execution model.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DagCoordinator {
+    prune: PrunePolicy,
+    merging: bool,
+    admission: Option<AdmissionController>,
+    graphs: Vec<GraphRun>,
+    /// Open engine tasks → the node(s) riding them (more than one under
+    /// merging). Kept sorted by task id: ids are handed out
+    /// monotonically, so pushes append in order.
+    in_flight: Vec<(TaskId, Vec<NodeRef>)>,
+    /// Identical-request index for function-chain merging; stale keys
+    /// (release tick already passed) are swept at each release.
+    merge_index: Vec<(MergeKey, TaskId)>,
+    stats: DagStats,
+}
+
+impl DagCoordinator {
+    /// A coordinator with pruning off, merging off, no admission control.
+    #[must_use]
+    pub fn new() -> Self {
+        DagCoordinator::default()
+    }
+
+    /// Enables subtree pruning at `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not a probability in `[0, 1]`.
+    #[must_use]
+    pub fn with_pruning(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "prune threshold must be a probability");
+        self.prune = PrunePolicy::PruneSubtree { threshold };
+        self
+    }
+
+    /// Enables function-chain merging: releases that are identical
+    /// requests (same tick, type, deadline) share one engine execution,
+    /// its fate fanning out to every rider.
+    #[must_use]
+    pub fn with_merging(mut self) -> Self {
+        self.merging = true;
+        self
+    }
+
+    /// Routes every release through `controller`
+    /// ([`AdmissionController::admit_now`]); a turned-away node forfeits
+    /// its subtree as [`ForfeitKind::AdmissionShed`].
+    #[must_use]
+    pub fn with_admission(mut self, controller: AdmissionController) -> Self {
+        self.admission = Some(controller);
+        self
+    }
+
+    /// The accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> DagStats {
+        self.stats
+    }
+
+    /// The admission controller, if one is configured.
+    #[must_use]
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Graphs registered so far.
+    #[must_use]
+    pub fn graph_count(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// The state of one node, or `None` for an unknown address.
+    #[must_use]
+    pub fn node_state(&self, node: NodeRef) -> Option<NodeState> {
+        self.graphs.get(node.graph as usize)?.state.get(node.node as usize).copied()
+    }
+
+    /// Nodes still waiting on predecessors.
+    #[must_use]
+    pub fn held(&self) -> u64 {
+        self.graphs
+            .iter()
+            .map(|run| run.state.iter().filter(|s| matches!(s, NodeState::Held)).count() as u64)
+            .sum()
+    }
+
+    /// Nodes riding open engine tasks.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.iter().map(|(_, refs)| refs.len() as u64).sum()
+    }
+
+    /// Whether every registered node has reached a terminal state.
+    #[must_use]
+    pub fn all_resolved(&self) -> bool {
+        self.stats.resolved() == self.stats.nodes
+    }
+
+    /// Recounts the conservation identity from the state tables and
+    /// checks it against the running [`DagStats`]: every node exactly one
+    /// of held / in-flight / resolved, every terminal bucket matching,
+    /// and the in-flight table consistent with the per-node states.
+    /// Cheap enough for test assertions after every step.
+    #[must_use]
+    pub fn audit(&self) -> bool {
+        let mut held = 0u64;
+        let mut injected = 0u64;
+        let mut recount = DagStats::default();
+        let mut forfeited = 0u64;
+        for run in &self.graphs {
+            for s in &run.state {
+                match *s {
+                    NodeState::Held => held += 1,
+                    NodeState::Injected(_) => injected += 1,
+                    NodeState::Resolved(fate) => match fate {
+                        TaskFate::OnTime => recount.on_time += 1,
+                        TaskFate::OnTimeApprox => recount.on_time_approx += 1,
+                        TaskFate::Late => recount.late += 1,
+                        TaskFate::DroppedReactive | TaskFate::DroppedProactive => {
+                            recount.dropped += 1;
+                        }
+                        TaskFate::LostToFailure => recount.lost += 1,
+                        TaskFate::Forfeited => forfeited += 1,
+                    },
+                }
+            }
+        }
+        let nodes: u64 = self.graphs.iter().map(|run| run.graph.len() as u64).sum();
+        nodes == self.stats.nodes
+            && self.graphs.len() as u64 == self.stats.graphs
+            && held == self.held()
+            && injected == self.in_flight()
+            && held + injected + recount.resolved() + forfeited == nodes
+            && recount.on_time == self.stats.on_time
+            && recount.on_time_approx == self.stats.on_time_approx
+            && recount.late == self.stats.late
+            && recount.dropped == self.stats.dropped
+            && recount.lost == self.stats.lost
+            && forfeited == self.stats.forfeited()
+    }
+
+    /// Registers a graph and releases its roots at
+    /// `max(graph.arrival(), core.now())` (roots may be injected with a
+    /// future arrival; the engine holds them until their tick). Returns
+    /// the graph's index, the `graph` half of every [`NodeRef`] into it.
+    ///
+    /// # Errors
+    ///
+    /// [`DagError::Sim`] if the engine refuses an injection (e.g. a node
+    /// names a task type the scenario lacks); the coordinator is left
+    /// consistent — the failing node and its subtree are *not* forfeited,
+    /// the error is surfaced for the caller to decide.
+    pub fn add_graph(&mut self, core: &mut SimCore<'_>, graph: TaskGraph) -> Result<u32, DagError> {
+        let gid = self.graphs.len() as u32;
+        let n = graph.len();
+        let release = graph.arrival().max(core.now());
+        let roots: Vec<NodeRef> =
+            graph.roots().into_iter().map(|node| NodeRef { graph: gid, node }).collect();
+        let unmet = (0..n as u32).map(|i| graph.preds(i).len() as u32).collect();
+        self.graphs.push(GraphRun { graph, state: vec![NodeState::Held; n], unmet });
+        self.stats.graphs += 1;
+        self.stats.nodes += n as u64;
+        self.release_batch(core, &roots, release)?;
+        Ok(gid)
+    }
+
+    /// Drives the core through every event at or before `until`,
+    /// processing resolutions and releasing newly-ready nodes as they
+    /// appear. On return the tap is drained and every node whose
+    /// predecessors delivered by `until` has been released (or
+    /// forfeited), so this is the safe point to [`snapshot`].
+    ///
+    /// [`snapshot`]: DagCoordinator::snapshot
+    ///
+    /// # Errors
+    ///
+    /// [`DagError::Sim`] if a release fails to inject; see
+    /// [`DagCoordinator::add_graph`].
+    pub fn advance(
+        &mut self,
+        core: &mut SimCore<'_>,
+        tap: &DagTap,
+        until: Tick,
+    ) -> Result<(), DagError> {
+        loop {
+            self.settle(core, tap)?;
+            // A drained core refuses to consume events (machine-failure
+            // timeline entries can outlive the last task), so stepping it
+            // would spin forever. settle() runs first: releasing a ready
+            // node un-drains the core before this check.
+            if core.is_drained() {
+                break;
+            }
+            match core.next_event_time() {
+                Some(t) if t <= until => {
+                    core.step();
+                }
+                _ => break,
+            }
+        }
+        self.settle(core, tap)
+    }
+
+    /// [`DagCoordinator::advance`] with no horizon: runs until the core
+    /// has no more events to process (all graph work resolved and the
+    /// engine drained of graph tasks).
+    ///
+    /// # Errors
+    ///
+    /// [`DagError::Sim`] if a release fails to inject.
+    pub fn run_to_drain(&mut self, core: &mut SimCore<'_>, tap: &DagTap) -> Result<(), DagError> {
+        loop {
+            self.settle(core, tap)?;
+            if core.is_drained() || core.next_event_time().is_none() {
+                break;
+            }
+            core.step();
+        }
+        self.settle(core, tap)
+    }
+
+    /// Serializes the coordinator together with the core's checkpoint.
+    /// Call after [`DagCoordinator::advance`] returns (tap drained);
+    /// restoring then resumes byte-identically.
+    #[must_use]
+    pub fn snapshot(&self, core: &SimCore<'_>) -> DagCheckpoint {
+        DagCheckpoint { core: core.snapshot(), coordinator: self.clone() }
+    }
+
+    /// Drains the tap and processes every resolution (cascades included),
+    /// then releases all nodes that became ready, at the current tick.
+    fn settle(&mut self, core: &mut SimCore<'_>, tap: &DagTap) -> Result<(), DagError> {
+        let mut ready = Vec::new();
+        for (task, fate) in tap.drain() {
+            self.on_resolved(core, task, fate, &mut ready);
+        }
+        self.release_batch(core, &ready, core.now())
+    }
+
+    /// Applies one engine resolution to every node riding the task:
+    /// records the fate, and either unblocks successors (the task ran to
+    /// completion, so its output exists — late output included) or
+    /// cascade-forfeits all descendants (dropped / killed / lost: the
+    /// output will never exist). Non-graph tasks are ignored.
+    fn on_resolved(
+        &mut self,
+        core: &mut SimCore<'_>,
+        task: TaskId,
+        fate: TaskFate,
+        ready: &mut Vec<NodeRef>,
+    ) {
+        let Some(pos) = self.in_flight.iter().position(|(t, _)| *t == task) else {
+            return;
+        };
+        let (_, refs) = self.in_flight.remove(pos);
+        let produced_output =
+            matches!(fate, TaskFate::OnTime | TaskFate::OnTimeApprox | TaskFate::Late);
+        for r in refs {
+            let run = &mut self.graphs[r.graph as usize];
+            debug_assert!(
+                matches!(run.state[r.node as usize], NodeState::Injected(t) if t == task),
+                "in-flight table out of sync with node state at {r:?}"
+            );
+            run.state[r.node as usize] = NodeState::Resolved(fate);
+            match fate {
+                TaskFate::OnTime => self.stats.on_time += 1,
+                TaskFate::OnTimeApprox => self.stats.on_time_approx += 1,
+                TaskFate::Late => self.stats.late += 1,
+                TaskFate::DroppedReactive | TaskFate::DroppedProactive => self.stats.dropped += 1,
+                TaskFate::LostToFailure => self.stats.lost += 1,
+                TaskFate::Forfeited => unreachable!("the engine never assigns Forfeited"),
+            }
+            if produced_output {
+                let run = &mut self.graphs[r.graph as usize];
+                let GraphRun { graph, state, unmet } = run;
+                for &s in graph.succs(r.node) {
+                    if matches!(state[s as usize], NodeState::Held) {
+                        unmet[s as usize] -= 1;
+                        if unmet[s as usize] == 0 {
+                            ready.push(NodeRef { graph: r.graph, node: s });
+                        }
+                    }
+                }
+            } else {
+                self.forfeit_descendants(core, r, ForfeitKind::Cascade, Some(task));
+            }
+        }
+    }
+
+    /// Forfeits every still-held proper descendant of `node` (a node that
+    /// is already injected or resolved is skipped — descendants can only
+    /// be held while an ancestor is unresolved, but a diamond may have
+    /// been forfeited through its other parent already).
+    fn forfeit_descendants(
+        &mut self,
+        core: &mut SimCore<'_>,
+        node: NodeRef,
+        kind: ForfeitKind,
+        cause: Option<TaskId>,
+    ) {
+        let descendants = self.graphs[node.graph as usize].graph.descendants(node.node);
+        for d in descendants {
+            self.forfeit_one(core, NodeRef { graph: node.graph, node: d }, kind, cause);
+        }
+    }
+
+    /// Forfeits `node` itself and its whole subtree (pruning, admission
+    /// shedding — decisions taken while the node is still held).
+    fn forfeit_subtree(
+        &mut self,
+        core: &mut SimCore<'_>,
+        node: NodeRef,
+        kind: ForfeitKind,
+        cause: Option<TaskId>,
+    ) {
+        self.forfeit_one(core, node, kind, cause);
+        self.forfeit_descendants(core, node, kind, cause);
+    }
+
+    fn forfeit_one(
+        &mut self,
+        core: &mut SimCore<'_>,
+        node: NodeRef,
+        kind: ForfeitKind,
+        cause: Option<TaskId>,
+    ) {
+        let run = &mut self.graphs[node.graph as usize];
+        if !matches!(run.state[node.node as usize], NodeState::Held) {
+            return;
+        }
+        run.state[node.node as usize] = NodeState::Resolved(TaskFate::Forfeited);
+        match kind {
+            ForfeitKind::Cascade => self.stats.forfeited_cascade += 1,
+            ForfeitKind::Pruned => self.stats.forfeited_pruned += 1,
+            ForfeitKind::AdmissionShed => self.stats.forfeited_shed += 1,
+        }
+        core.notify_observers(&SimEvent::CascadeForfeited {
+            graph: node.graph as u64,
+            node: node.node,
+            cause,
+            now: core.now(),
+            kind,
+        });
+    }
+
+    /// Releases a batch of ready nodes at tick `release`: prune, merge,
+    /// admit, inject — in that order, in batch order.
+    fn release_batch(
+        &mut self,
+        core: &mut SimCore<'_>,
+        batch: &[NodeRef],
+        release: Tick,
+    ) -> Result<(), DagError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Pruning prices every released node's subtree against one tail
+        // capture (the paper's batch discipline: tails are a function of
+        // the instant, not of the offer).
+        let survivors: Vec<NodeRef> = match self.prune {
+            PrunePolicy::Off => batch.to_vec(),
+            PrunePolicy::PruneSubtree { threshold } => {
+                let now = core.now();
+                let mut tails = QueueTails::capture(core);
+                let mut memo: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+                let mut survivors = Vec::with_capacity(batch.len());
+                let mut pruned = Vec::new();
+                for &r in batch {
+                    let chances = memo.entry(r.graph).or_insert_with(|| {
+                        subtree_chances(
+                            &self.graphs[r.graph as usize].graph,
+                            &mut tails,
+                            &core.scenario().pet,
+                            now,
+                        )
+                    });
+                    if chances[r.node as usize] < threshold {
+                        pruned.push(r);
+                    } else {
+                        survivors.push(r);
+                    }
+                }
+                for r in pruned {
+                    self.forfeit_subtree(core, r, ForfeitKind::Pruned, None);
+                }
+                survivors
+            }
+        };
+        // Merge keys whose release tick has passed can never match again.
+        self.merge_index.retain(|(key, _)| key.arrival >= release);
+        for r in survivors {
+            let spec = self.graphs[r.graph as usize].graph.node(r.node);
+            let deadline = release + spec.slack;
+            let key = MergeKey { arrival: release, type_id: spec.type_id, deadline };
+            if self.merging {
+                // An identical request already in flight? Ride it. (The
+                // in-flight check matters: a same-tick twin could already
+                // have been proactively dropped at its mapping round.)
+                let rider = self
+                    .merge_index
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|&(_, task)| task)
+                    .and_then(|task| {
+                        self.in_flight.iter_mut().find(|(t, _)| *t == task).map(|e| (task, e))
+                    });
+                if let Some((task, (_, refs))) = rider {
+                    refs.push(r);
+                    self.graphs[r.graph as usize].state[r.node as usize] =
+                        NodeState::Injected(task);
+                    self.stats.merged += 1;
+                    continue;
+                }
+            }
+            let offer = OfferedTask { type_id: spec.type_id, arrival: release, deadline };
+            let injected = match &mut self.admission {
+                Some(ctl) => ctl.admit_now(offer, core)?,
+                None => Some(core.inject(spec.type_id, release, deadline)?),
+            };
+            match injected {
+                Some(task) => {
+                    self.graphs[r.graph as usize].state[r.node as usize] =
+                        NodeState::Injected(task);
+                    self.in_flight.push((task, vec![r]));
+                    if self.merging {
+                        self.merge_index.push((key, task));
+                    }
+                    self.stats.injected += 1;
+                }
+                None => self.forfeit_subtree(core, r, ForfeitKind::AdmissionShed, None),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A coordinator checkpoint: the core's [`Checkpoint`] plus the
+/// coordinator's complete state. Everything needed to resume except the
+/// deterministic context a core checkpoint only *names* (scenario and
+/// policies) and the derived [`DagTap`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagCheckpoint {
+    /// The engine's state.
+    pub core: Checkpoint,
+    /// The graph layer's state.
+    pub coordinator: DagCoordinator,
+}
+
+impl DagCheckpoint {
+    /// Rebuilds the core and coordinator; attach a fresh [`DagTap`]
+    /// before stepping. Resuming is byte-identical to an uninterrupted
+    /// run (asserted by this crate's property tests).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`](taskdrop_sim::SimError) from
+    /// [`SimCore::restore`] (version or structural mismatch).
+    pub fn restore<'a>(
+        &self,
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+    ) -> Result<(SimCore<'a>, DagCoordinator), DagError> {
+        let core = SimCore::restore(scenario, mapper, dropper, &self.core)?;
+        Ok((core, self.coordinator.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+    use taskdrop_core::ReactiveOnly;
+    use taskdrop_sched::Pam;
+    use taskdrop_sim::{MetricsObserver, SimConfig};
+    use taskdrop_workload::{BlueprintNode, GraphBlueprint};
+
+    fn open_core(scenario: &Scenario) -> SimCore<'_> {
+        let config = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
+        SimCore::open(scenario, &Pam, &ReactiveOnly, config, 7).unwrap()
+    }
+
+    fn graph(arrival: Tick, slacks: &[Tick], edges: &[(u32, u32)]) -> TaskGraph {
+        TaskGraph::from_blueprint(&GraphBlueprint {
+            arrival,
+            nodes: slacks
+                .iter()
+                .map(|&slack| BlueprintNode { type_id: TaskTypeId(0), slack })
+                .collect(),
+            edges: edges.to_vec(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_runs_in_dependency_order_and_resolves_every_node() {
+        let s = Scenario::specint(11);
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        let mut coord = DagCoordinator::new();
+        coord.add_graph(&mut core, graph(0, &[2_000; 4], &[(0, 1), (1, 2), (2, 3)])).unwrap();
+        assert_eq!(coord.held(), 3, "only the root is released up front");
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        assert!(coord.all_resolved());
+        assert!(coord.audit());
+        let st = coord.stats();
+        assert_eq!(st.injected, 4, "chain nodes are injected one by one");
+        assert_eq!(st.on_time, 4, "an idle cluster with roomy slack completes everything");
+        // Dependency order: each node was injected only after its
+        // predecessor's completion tick.
+        for node in 1..4u32 {
+            let NodeState::Resolved(fate) = coord.node_state(NodeRef { graph: 0, node }).unwrap()
+            else {
+                panic!("unresolved node {node}");
+            };
+            assert_eq!(fate, TaskFate::OnTime);
+        }
+    }
+
+    #[test]
+    fn hopeless_node_cascades_to_all_descendants_conserved() {
+        let s = Scenario::specint(11);
+        // Declared before the core: the observer closure borrows it for
+        // the core's lifetime.
+        let events = std::cell::RefCell::new(Vec::new());
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        let mut coord = DagCoordinator::new();
+        // Diamond whose left arm can never finish in time: 1 tick of
+        // slack kills node 1 reactively, which must forfeit the sink —
+        // but node 2's completion must NOT re-release it.
+        core.attach(|ev: &SimEvent| {
+            if let SimEvent::CascadeForfeited { node, kind, .. } = *ev {
+                events.borrow_mut().push((node, kind));
+            }
+        });
+        coord
+            .add_graph(
+                &mut core,
+                graph(0, &[2_000, 1, 2_000, 2_000], &[(0, 1), (0, 2), (1, 3), (2, 3)]),
+            )
+            .unwrap();
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        assert!(coord.all_resolved());
+        assert!(coord.audit());
+        let st = coord.stats();
+        assert_eq!(st.dropped, 1, "the doomed arm is reactively dropped");
+        assert_eq!(st.forfeited_cascade, 1, "the sink is forfeited exactly once");
+        assert_eq!(st.injected, 3, "the sink was never injected");
+        assert_eq!(
+            coord.node_state(NodeRef { graph: 0, node: 3 }),
+            Some(NodeState::Resolved(TaskFate::Forfeited))
+        );
+        assert_eq!(events.borrow().as_slice(), &[(3, ForfeitKind::Cascade)]);
+    }
+
+    #[test]
+    fn merging_shares_one_execution_across_identical_roots() {
+        let s = Scenario::specint(11);
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        let mut coord = DagCoordinator::new().with_merging();
+        // Two identical chains arriving at the same tick: roots merge,
+        // and because the merged root completes at one tick, the second
+        // links merge too — 2 injections for 4 nodes.
+        for _ in 0..2 {
+            coord.add_graph(&mut core, graph(50, &[2_000; 2], &[(0, 1)])).unwrap();
+        }
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        assert!(coord.all_resolved() && coord.audit());
+        let st = coord.stats();
+        assert_eq!(st.nodes, 4);
+        assert_eq!(st.injected, 2, "one execution per chain layer");
+        assert_eq!(st.merged, 2, "the twin chain rides both layers");
+        assert_eq!(st.on_time, 4, "every node still gets its own fate");
+    }
+
+    #[test]
+    fn pruning_forfeits_doomed_subtrees_at_release() {
+        let s = Scenario::specint(11);
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        // Chain with a hopeless sink (1 tick of slack): the subtree
+        // chance of the *root* is already ~0, so the whole chain is shed
+        // before a single injection.
+        let mut coord = DagCoordinator::new().with_pruning(0.5);
+        coord.add_graph(&mut core, graph(0, &[2_000, 2_000, 1], &[(0, 1), (1, 2)])).unwrap();
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        assert!(coord.all_resolved() && coord.audit());
+        let st = coord.stats();
+        assert_eq!(st.injected, 0);
+        assert_eq!(st.forfeited_pruned, 3, "root and both descendants shed together");
+    }
+
+    #[test]
+    fn admission_shedding_forfeits_the_subtree_and_feeds_metrics() {
+        use taskdrop_serve::BackpressurePolicy;
+        use taskdrop_sim::SimObserver;
+        let s = Scenario::specint(11);
+        let metrics = std::cell::RefCell::new(MetricsObserver::new(
+            &s,
+            &SimConfig { exclude_boundary: 0, ..SimConfig::default() },
+        ));
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        core.attach(|ev: &SimEvent| metrics.borrow_mut().on_event(ev));
+        // The chain-aware gate refuses the hopeless root, forfeiting the
+        // chain; the healthy chain passes.
+        let ctl = AdmissionController::new(4, BackpressurePolicy::PreDrop { threshold: 0.25 });
+        let mut coord = DagCoordinator::new().with_admission(ctl);
+        coord.add_graph(&mut core, graph(0, &[1, 2_000], &[(0, 1)])).unwrap();
+        coord.add_graph(&mut core, graph(0, &[2_000, 2_000], &[(0, 1)])).unwrap();
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        assert!(coord.all_resolved() && coord.audit());
+        let st = coord.stats();
+        assert_eq!(st.forfeited_shed, 2, "hopeless root and its successor shed");
+        assert_eq!(st.on_time, 2, "the healthy chain completes");
+        assert_eq!(coord.admission().unwrap().stats().pre_dropped, 1);
+        // The observer chain saw both forfeits and stays conserved.
+        let result = metrics.borrow().result().unwrap();
+        assert_eq!(result.forfeited, 2);
+        assert!(result.is_conserved());
+        assert_eq!(result.total_tasks, 2 + 2, "2 injected + 2 forfeited ride the totals");
+    }
+
+    #[test]
+    fn checkpoint_restores_to_equal_coordinator() {
+        let s = Scenario::specint(11);
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        let mut coord = DagCoordinator::new().with_merging();
+        coord
+            .add_graph(&mut core, graph(0, &[2_000; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]))
+            .unwrap();
+        coord.advance(&mut core, &tap, 40).unwrap();
+        let cp = coord.snapshot(&core);
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: DagCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(cp, back, "checkpoint roundtrips through serde");
+        let (mut core2, mut coord2) = back.restore(&s, &Pam, &ReactiveOnly).unwrap();
+        let tap2 = DagTap::new();
+        tap2.attach(&mut core2);
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        coord2.run_to_drain(&mut core2, &tap2).unwrap();
+        assert_eq!(coord, coord2, "resumed run converges to the identical end state");
+        assert_eq!(core.now(), core2.now());
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed errors of the graph layer.
+
+use std::fmt;
+use taskdrop_sim::SimError;
+
+/// Why a blueprint was rejected or a coordinator operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The blueprint has no nodes.
+    EmptyGraph,
+    /// An edge endpoint is not a node index of the blueprint.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u32,
+        /// Number of nodes in the blueprint.
+        nodes: usize,
+    },
+    /// A node depends on itself.
+    SelfLoop {
+        /// The offending node.
+        node: u32,
+    },
+    /// The same `(pred, succ)` edge appears twice.
+    DuplicateEdge {
+        /// Predecessor endpoint.
+        pred: u32,
+        /// Successor endpoint.
+        succ: u32,
+    },
+    /// The dependency edges contain a cycle, so no execution order exists.
+    Cycle,
+    /// A node's slack is zero: it could never complete before its deadline.
+    ZeroSlack {
+        /// The offending node.
+        node: u32,
+    },
+    /// The underlying engine refused an operation.
+    Sim(SimError),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::EmptyGraph => write!(f, "task graph has no nodes"),
+            DagError::NodeOutOfRange { node, nodes } => {
+                write!(f, "edge endpoint n{node} out of range (graph has {nodes} nodes)")
+            }
+            DagError::SelfLoop { node } => write!(f, "node n{node} depends on itself"),
+            DagError::DuplicateEdge { pred, succ } => {
+                write!(f, "duplicate dependency edge n{pred} -> n{succ}")
+            }
+            DagError::Cycle => write!(f, "dependency edges contain a cycle"),
+            DagError::ZeroSlack { node } => {
+                write!(f, "node n{node} has zero slack: it can never finish on time")
+            }
+            DagError::Sim(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DagError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for DagError {
+    fn from(e: SimError) -> Self {
+        DagError::Sim(e)
+    }
+}

@@ -1,0 +1,98 @@
+//! Graph-level accounting: the coordinator's conserved fate table.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative node accounting across every graph a coordinator manages.
+///
+/// The conservation identity mirrors the engine's per-task one, lifted to
+/// graph nodes: every node is at all times exactly one of *held* (waiting
+/// on predecessors), *in flight* (injected, fate pending), or resolved
+/// into exactly one of the terminal buckets below —
+/// `nodes == held + in_flight + resolved()`, which
+/// [`DagCoordinator::audit`](crate::DagCoordinator::audit) recounts from
+/// the state tables on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DagStats {
+    /// Graphs registered.
+    pub graphs: u64,
+    /// Nodes registered (sum of graph sizes).
+    pub nodes: u64,
+    /// Engine injections performed (merged nodes share one injection).
+    pub injected: u64,
+    /// Nodes satisfied by riding an existing injection instead of their
+    /// own (function-chain merging); always 0 with merging off.
+    pub merged: u64,
+    /// Nodes whose task completed strictly before its deadline.
+    pub on_time: u64,
+    /// Nodes whose task completed on time in approximate (degraded) mode.
+    pub on_time_approx: u64,
+    /// Nodes whose task ran to completion but finished late. Late output
+    /// still *exists*, so successors were released, not forfeited.
+    pub late: u64,
+    /// Nodes whose task was dropped (reactively or proactively) or killed
+    /// at its deadline.
+    pub dropped: u64,
+    /// Nodes whose task was lost to a machine failure.
+    pub lost: u64,
+    /// Nodes forfeited because a predecessor's task was dropped, killed,
+    /// or lost.
+    pub forfeited_cascade: u64,
+    /// Nodes shed by [`PruneSubtree`](crate::PrunePolicy::PruneSubtree):
+    /// their subtree's estimated chance fell below the threshold.
+    pub forfeited_pruned: u64,
+    /// Nodes turned away by chain-aware admission at release time (and
+    /// their descendants, forfeited with them).
+    pub forfeited_shed: u64,
+}
+
+impl DagStats {
+    /// Nodes that reached a terminal state, across all buckets.
+    #[must_use]
+    pub fn resolved(&self) -> u64 {
+        self.on_time + self.on_time_approx + self.late + self.dropped + self.lost + self.forfeited()
+    }
+
+    /// Nodes forfeited before injection, across all forfeit kinds.
+    #[must_use]
+    pub fn forfeited(&self) -> u64 {
+        self.forfeited_cascade + self.forfeited_pruned + self.forfeited_shed
+    }
+
+    /// Nodes whose output was produced in time at full fidelity, as a
+    /// fraction of all registered nodes (the graph-level robustness
+    /// numerator; 0 for an empty coordinator).
+    #[must_use]
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.on_time as f64 / self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_sums_every_terminal_bucket() {
+        let s = DagStats {
+            graphs: 2,
+            nodes: 10,
+            injected: 6,
+            merged: 1,
+            on_time: 3,
+            on_time_approx: 1,
+            late: 1,
+            dropped: 1,
+            lost: 1,
+            forfeited_cascade: 2,
+            forfeited_pruned: 0,
+            forfeited_shed: 1,
+        };
+        assert_eq!(s.resolved(), 10);
+        assert_eq!(s.forfeited(), 3);
+        assert!((s.on_time_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(DagStats::default().on_time_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The coordinator's ear on the engine's event stream.
+//!
+//! [`SimCore`] observers are attached by value and owned by the core, so a
+//! coordinator driving the core from outside cannot *be* an observer of
+//! it (that would be a self-borrow). A [`DagTap`] splits the difference:
+//! a cheaply cloneable handle around a shared queue — `Rc<RefCell<…>>`,
+//! single-threaded like the core itself — whose clone rides inside the
+//! core as a closure observer while the original stays with the
+//! coordinator, which drains resolved `(task, fate)` pairs between steps.
+//!
+//! Taps are *derived* state: a checkpoint never contains one (observers
+//! are not checkpointed), so restore attaches a fresh tap before
+//! stepping. Nothing is lost as long as the previous tap was drained
+//! before the snapshot — which [`DagCoordinator::advance`] guarantees by
+//! draining before it returns.
+//!
+//! [`SimCore`]: taskdrop_sim::SimCore
+//! [`DagCoordinator::advance`]: crate::DagCoordinator::advance
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use taskdrop_model::TaskId;
+use taskdrop_sim::{SimCore, SimEvent, TaskFate};
+
+/// A shared queue of terminal `(task, fate)` events; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct DagTap {
+    inner: Rc<RefCell<VecDeque<(TaskId, TaskFate)>>>,
+}
+
+impl DagTap {
+    /// An empty, unattached tap.
+    #[must_use]
+    pub fn new() -> Self {
+        DagTap::default()
+    }
+
+    /// Attaches a clone of this tap to `core` as an observer: every
+    /// subsequent terminal event is queued for [`DagTap::drain`]. Attach
+    /// exactly one tap per core, before the first step after (re)creation.
+    pub fn attach(&self, core: &mut SimCore<'_>) {
+        let inner = Rc::clone(&self.inner);
+        core.attach(move |ev: &SimEvent| {
+            if let Some(resolved) = ev.resolved() {
+                inner.borrow_mut().push_back(resolved);
+            }
+        });
+    }
+
+    /// Removes and returns all queued resolutions, in simulation order.
+    #[must_use]
+    pub fn drain(&self) -> Vec<(TaskId, TaskFate)> {
+        self.inner.borrow_mut().drain(..).collect()
+    }
+
+    /// Resolutions queued and not yet drained.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.inner.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskdrop_model::MachineId;
+    use taskdrop_sim::SimObserver;
+
+    #[test]
+    fn tap_queues_only_terminal_events_and_drains_in_order() {
+        let tap = DagTap::new();
+        // Exercise the closure the same way the core would.
+        let inner = Rc::clone(&tap.inner);
+        let mut obs = move |ev: &SimEvent| {
+            if let Some(resolved) = ev.resolved() {
+                inner.borrow_mut().push_back(resolved);
+            }
+        };
+        obs.on_event(&SimEvent::MappingRound { now: 5 });
+        obs.on_event(&SimEvent::Killed { task: TaskId(3), machine: MachineId(0), now: 9 });
+        obs.on_event(&SimEvent::Completed {
+            task: TaskId(1),
+            machine: MachineId(0),
+            now: 11,
+            on_time: true,
+            degraded: false,
+        });
+        assert_eq!(tap.pending(), 2);
+        assert_eq!(
+            tap.drain(),
+            vec![(TaskId(3), TaskFate::DroppedReactive), (TaskId(1), TaskFate::OnTime)]
+        );
+        assert_eq!(tap.pending(), 0);
+    }
+}

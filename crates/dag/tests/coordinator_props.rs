@@ -1,0 +1,209 @@
+//! Property tests of the coordinator's conservation and determinism
+//! contracts, under randomly drawn layered DAGs, policies, failure
+//! injection and feature toggles:
+//!
+//! * **No duplication, no loss**: after draining, every graph node has
+//!   reached exactly one terminal state, the running [`DagStats`] match a
+//!   recount from the state tables ([`DagCoordinator::audit`]), and the
+//!   stream-reconstructed [`MetricsObserver`] accounting is conserved
+//!   with forfeits included.
+//! * **Progress**: every registered graph fully resolves — held nodes
+//!   cannot outlive their ancestors' fates.
+//! * **Checkpoint determinism**: interrupting at a random tick, JSON
+//!   round-tripping the [`DagCheckpoint`], restoring and finishing is
+//!   byte-identical to never having stopped (the graph-layer mirror of
+//!   `tests/checkpoint_determinism.rs`).
+
+use proptest::prelude::*;
+use taskdrop_core::{DropPolicy, ProactiveDropper, ReactiveOnly};
+use taskdrop_dag::{DagCheckpoint, DagCoordinator, DagTap, TaskGraph};
+use taskdrop_sched::Pam;
+use taskdrop_sim::{FailureSpec, MetricsObserver, SimConfig, SimCore, SimObserver};
+use taskdrop_workload::{graphgen, Scenario};
+
+/// Everything one random case needs to rebuild its world twice.
+#[derive(Debug, Clone)]
+struct Case {
+    seed: u64,
+    graphs: usize,
+    layers: usize,
+    max_width: usize,
+    edge_prob: f64,
+    proactive: bool,
+    failures: bool,
+    merging: bool,
+    prune: bool,
+}
+
+fn strategy() -> impl Strategy<Value = Case> {
+    // Nested tuples: the vendored proptest implements tuple strategies
+    // up to arity 5. The 4-bit draw covers the four independent toggles
+    // (it also has no `any::<bool>()`).
+    ((0u64..1_000, 1usize..4, 2usize..5), (1usize..4, 0.2f64..0.9, 0u8..16)).prop_map(
+        |((seed, graphs, layers), (max_width, edge_prob, bits))| Case {
+            seed,
+            graphs,
+            layers,
+            max_width,
+            edge_prob,
+            proactive: bits & 1 != 0,
+            failures: bits & 2 != 0,
+            merging: bits & 4 != 0,
+            prune: bits & 8 != 0,
+        },
+    )
+}
+
+fn config(case: &Case) -> SimConfig {
+    SimConfig {
+        exclude_boundary: 0,
+        failures: case.failures.then_some(FailureSpec { mtbf: 700, mttr: 150 }),
+        ..SimConfig::default()
+    }
+}
+
+fn coordinator(case: &Case) -> DagCoordinator {
+    let mut coord = DagCoordinator::new();
+    if case.merging {
+        coord = coord.with_merging();
+    }
+    if case.prune {
+        coord = coord.with_pruning(0.25);
+    }
+    coord
+}
+
+fn graphs_of(case: &Case) -> Vec<TaskGraph> {
+    (0..case.graphs)
+        .map(|k| {
+            // Slacks span hopeless to roomy, so drops, cascades and (with
+            // pruning on) shed subtrees all occur naturally.
+            let bp = graphgen::random_layered(
+                case.seed ^ (k as u64).wrapping_mul(0x9E37_79B9),
+                97 * k as u64,
+                case.layers,
+                case.max_width,
+                case.edge_prob,
+                12,
+                (30, 400),
+            );
+            TaskGraph::from_blueprint(&bp).expect("generated blueprints validate")
+        })
+        .collect()
+}
+
+/// Runs a case to drain, asserting conservation along the way; returns
+/// the final checkpoint JSON (the run's complete end state, canonical).
+fn run_straight(case: &Case, interrupt_at: Option<u64>) -> String {
+    let scenario = Scenario::specint(17);
+    let metrics = std::cell::RefCell::new(MetricsObserver::new(&scenario, &config(case)));
+    let dropper_h = ProactiveDropper::paper_default();
+    let dropper: &dyn DropPolicy = if case.proactive { &dropper_h } else { &ReactiveOnly };
+    let mut core = SimCore::open(&scenario, &Pam, dropper, config(case), case.seed ^ 0xDA6)
+        .expect("valid core");
+    let tap = DagTap::new();
+    tap.attach(&mut core);
+    core.attach(|ev: &taskdrop_sim::SimEvent| metrics.borrow_mut().on_event(ev));
+    let mut coord = coordinator(case);
+    for graph in graphs_of(case) {
+        coord.add_graph(&mut core, graph).expect("graphs inject cleanly");
+        assert!(coord.audit(), "stats drifted from state tables after add_graph");
+    }
+
+    let coord = if let Some(until) = interrupt_at {
+        // Interrupt: advance to the tick, kill everything, resurrect from
+        // the JSON checkpoint alone (fresh tap, fresh observers — the
+        // metrics stream is not part of the determinism contract here,
+        // only the end state is).
+        coord.advance(&mut core, &tap, until).expect("advance");
+        let json = serde_json::to_string(&coord.snapshot(&core)).expect("serialize");
+        drop(core);
+        let cp: DagCheckpoint = serde_json::from_str(&json).expect("parse");
+        let (mut core2, mut coord2) =
+            cp.restore(&scenario, &Pam, dropper).expect("restore checkpoint");
+        let tap2 = DagTap::new();
+        tap2.attach(&mut core2);
+        coord2.run_to_drain(&mut core2, &tap2).expect("drain resumed");
+        return serde_json::to_string(&coord2.snapshot(&core2)).expect("serialize end state");
+    } else {
+        coord.run_to_drain(&mut core, &tap).expect("drain straight");
+        coord
+    };
+
+    // Progress: every node of every graph reached exactly one terminal
+    // state, and the recount matches the running stats.
+    assert!(coord.all_resolved(), "held nodes outlived their ancestors");
+    assert!(coord.audit(), "stats drifted from state tables at drain");
+    assert_eq!(coord.held(), 0);
+    assert_eq!(coord.in_flight(), 0);
+    let st = coord.stats();
+    assert_eq!(st.injected + st.merged + st.forfeited(), st.nodes, "node accounting leak");
+
+    // Stream-reconstructed accounting is conserved with forfeits, and
+    // agrees with the coordinator's own forfeit tally.
+    let result = metrics.borrow().result().expect("core drained");
+    assert!(result.is_conserved(), "MetricsObserver lost a fate");
+    assert_eq!(result.forfeited as u64, st.forfeited());
+    assert_eq!(result.total_tasks as u64, st.injected + st.forfeited());
+
+    serde_json::to_string(&coord.snapshot(&core)).expect("serialize end state")
+}
+
+proptest! {
+    // Each case runs two full graph workloads (straight + interrupted);
+    // graphs are small (≤ ~12 nodes each), so this stays in budget.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_dag_scripts_conserve_nodes_and_resume_byte_identically(
+        case in strategy(),
+        until in 0u64..2_000,
+    ) {
+        let straight = run_straight(&case, None);
+        let resumed = run_straight(&case, Some(until));
+        prop_assert_eq!(
+            straight, resumed,
+            "kill-and-restore at tick {} diverged from the uninterrupted run", until
+        );
+    }
+}
+
+/// A coordinator checkpoint is a value, not a consumable: restoring the
+/// same mid-flight checkpoint twice yields two runs with identical end
+/// states.
+#[test]
+fn a_dag_checkpoint_restores_any_number_of_times() {
+    let case = Case {
+        seed: 42,
+        graphs: 2,
+        layers: 3,
+        max_width: 3,
+        edge_prob: 0.6,
+        proactive: true,
+        failures: false,
+        merging: true,
+        prune: false,
+    };
+    let scenario = Scenario::specint(17);
+    let dropper = ProactiveDropper::paper_default();
+    let mut core =
+        SimCore::open(&scenario, &Pam, &dropper, config(&case), 0xDA6).expect("valid core");
+    let tap = DagTap::new();
+    tap.attach(&mut core);
+    let mut coord = coordinator(&case);
+    for graph in graphs_of(&case) {
+        coord.add_graph(&mut core, graph).unwrap();
+    }
+    coord.advance(&mut core, &tap, 120).unwrap();
+    let cp = coord.snapshot(&core);
+
+    let mut ends = Vec::new();
+    for _ in 0..2 {
+        let (mut c, mut k) = cp.restore(&scenario, &Pam, &dropper).unwrap();
+        let t = DagTap::new();
+        t.attach(&mut c);
+        k.run_to_drain(&mut c, &t).unwrap();
+        ends.push(serde_json::to_string(&k.snapshot(&c)).unwrap());
+    }
+    assert_eq!(ends[0], ends[1]);
+}

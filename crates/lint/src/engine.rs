@@ -58,8 +58,8 @@ pub fn classify(rel: &str) -> Option<FileClass> {
 }
 
 const SIM_PATH: &[&str] =
-    &["pmf", "stats", "model", "sched", "core", "workload", "sim", "serve", "taskdrop"];
-const CONCURRENCY_CORE: &[&str] = &["sim", "model", "core", "pmf"];
+    &["pmf", "stats", "model", "sched", "core", "workload", "sim", "serve", "dag", "taskdrop"];
+const CONCURRENCY_CORE: &[&str] = &["sim", "model", "core", "pmf", "dag"];
 
 impl Scope {
     /// Does this scope cover `class`'s crate?
@@ -417,14 +417,63 @@ mod tests {
         let bench = classify("crates/bench/src/lib.rs").unwrap();
         let lint = classify("crates/lint/src/lib.rs").unwrap();
         let serve = classify("crates/serve/src/lib.rs").unwrap();
+        let dag = classify("crates/dag/src/coordinator.rs").unwrap();
         assert!(Scope::SimPath.covers(&pmf));
+        assert!(Scope::SimPath.covers(&dag));
         assert!(!Scope::SimPath.covers(&bench));
         assert!(!Scope::SimPath.covers(&lint));
         assert!(!Scope::NonBench.covers(&bench));
         assert!(Scope::NonBench.covers(&lint));
         assert!(Scope::ConcurrencyCore.covers(&pmf));
+        assert!(Scope::ConcurrencyCore.covers(&dag));
         assert!(!Scope::ConcurrencyCore.covers(&serve));
         assert!(Scope::ServeOnly.covers(&serve));
+    }
+
+    /// The scope lists are positive allowlists: a new workspace crate that
+    /// nobody adds to `SIM_PATH` would silently escape every sim-path rule.
+    /// Tie the lists to the root manifest so adding a crate without
+    /// deciding its lint coverage fails here.
+    #[test]
+    fn scope_lists_track_workspace_members() {
+        let manifest =
+            std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("../../Cargo.toml"))
+                .expect("workspace root manifest");
+        let members_block = manifest
+            .split("members = [")
+            .nth(1)
+            .and_then(|rest| rest.split(']').next())
+            .expect("members list in root manifest");
+        let crates: Vec<&str> = members_block
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("\"crates/"))
+            .filter_map(|l| l.strip_suffix("\","))
+            .collect();
+        assert!(!crates.is_empty(), "failed to parse workspace members");
+
+        // Tooling crates that deliberately sit outside the sim path; every
+        // other `crates/*` member must be sim-path covered.
+        const NON_SIM: &[&str] = &["bench", "lint"];
+        for krate in &crates {
+            let covered = SIM_PATH.contains(krate);
+            let exempt = NON_SIM.contains(krate);
+            assert!(
+                covered ^ exempt,
+                "crate `{krate}` must be in exactly one of SIM_PATH or the \
+                 NON_SIM exemption list — decide its lint coverage"
+            );
+        }
+        // No stale entries: everything scoped must exist in the workspace
+        // (the umbrella crate `taskdrop` lives at the root, not crates/).
+        for krate in SIM_PATH.iter().filter(|k| **k != "taskdrop") {
+            assert!(crates.contains(krate), "SIM_PATH entry `{krate}` is not a workspace member");
+        }
+        for krate in CONCURRENCY_CORE {
+            assert!(
+                SIM_PATH.contains(krate),
+                "CONCURRENCY_CORE entry `{krate}` must also be sim-path scoped"
+            );
+        }
     }
 
     #[test]

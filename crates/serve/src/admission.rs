@@ -26,7 +26,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use taskdrop_model::{MachineTypeId, PetMatrix};
+use taskdrop_model::{MachineTypeId, PetMatrix, TaskId};
 use taskdrop_pmf::{ChainScratch, Pmf, Tick};
 use taskdrop_sim::{AdmissionDropKind, SimCore, SimError, SimEvent};
 use taskdrop_workload::OfferedTask;
@@ -209,6 +209,54 @@ impl AdmissionController {
         }
         self.queue.push_back(task);
         AdmissionOutcome::Accepted
+    }
+
+    /// Chain-aware immediate admission: one offer, decided and (on
+    /// acceptance) injected *right now*, bypassing the ingress queue.
+    /// Dependency-graph layers (`taskdrop_dag`) release a node the instant
+    /// its predecessors complete — parking it in the ingress queue would
+    /// only erode slack the chain has already spent — so this path applies
+    /// the [`BackpressurePolicy::PreDrop`] gate *unconditionally* (release
+    /// offers always price against fresh tails; there is no half-occupancy
+    /// warm-up because there is no queue to measure) and otherwise injects
+    /// at `max(arrival, now)`. Returns `Ok(None)` when the offer was
+    /// turned away (expired or pre-dropped); refusals are counted in
+    /// [`AdmissionStats`] and surfaced as [`SimEvent::AdmissionDropped`]
+    /// exactly like the queued path's.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownTaskType`] if the offer names a task type the
+    /// core's scenario lacks; the offer is consumed and counted as
+    /// [`AdmissionStats::invalid`], preserving the `offered` conservation
+    /// identity.
+    pub fn admit_now(
+        &mut self,
+        task: OfferedTask,
+        core: &mut SimCore<'_>,
+    ) -> Result<Option<TaskId>, SimError> {
+        self.stats.offered += 1;
+        let arrival = task.arrival.max(core.now());
+        if task.deadline <= arrival {
+            self.record_refusal(&task, AdmissionDropKind::Expired, core);
+            return Ok(None);
+        }
+        if let BackpressurePolicy::PreDrop { threshold } = self.policy {
+            if best_chance_of_success(core, &task) < threshold {
+                self.record_refusal(&task, AdmissionDropKind::PreDropped, core);
+                return Ok(None);
+            }
+        }
+        match core.inject(task.type_id, arrival, task.deadline) {
+            Ok(id) => {
+                self.stats.admitted += 1;
+                Ok(Some(id))
+            }
+            Err(e) => {
+                self.record_refusal(&task, AdmissionDropKind::Invalid, core);
+                Err(e)
+            }
+        }
     }
 
     /// Injects every queued offer whose arrival is at or before `until`,
@@ -459,6 +507,34 @@ mod tests {
         );
         assert_eq!(ctl.offer(offered(20, 900), &mut core), AdmissionOutcome::Accepted);
         assert_eq!(ctl.stats().pre_dropped, 1);
+    }
+
+    #[test]
+    fn admit_now_injects_immediately_and_gates_unconditionally() {
+        let s = Scenario::specint(5);
+        let mut core = open_core(&s);
+        let mut ctl = AdmissionController::new(4, BackpressurePolicy::PreDrop { threshold: 0.25 });
+        // Queue is empty — the queued path would wave anything through, but
+        // the release path prices every offer: a 1-tick window is refused.
+        assert_eq!(ctl.admit_now(offered(0, 1), &mut core).unwrap(), None);
+        assert_eq!(ctl.stats().pre_dropped, 1);
+        // A roomy offer is injected at once, bypassing the queue.
+        let id = ctl.admit_now(offered(0, 900), &mut core).unwrap().expect("admitted");
+        assert_eq!(core.total_tasks(), 1);
+        assert_eq!(id, TaskId(0));
+        assert_eq!(ctl.queued(), 0, "release offers never occupy the ingress queue");
+        // An offer whose deadline the clock already passed is expired here,
+        // not handed to the core.
+        assert_eq!(
+            ctl.admit_now(
+                OfferedTask { type_id: TaskTypeId(0), arrival: 0, deadline: 0 },
+                &mut core
+            )
+            .unwrap(),
+            None
+        );
+        let stats = ctl.stats();
+        assert_eq!((stats.offered, stats.admitted, stats.expired), (3, 1, 1));
     }
 
     #[test]

@@ -646,22 +646,27 @@ impl<'a> SimCore<'a> {
 
     /// Forwards an externally produced lifecycle event to this core's
     /// observers, so one observer chain sees the complete task lifecycle
-    /// from ingress to fate. The only admissible event is
-    /// [`SimEvent::AdmissionDropped`] — the one lifecycle stage that
-    /// happens *outside* the core; every other variant describes an engine
-    /// decision, and a forged one (terminal or not) would corrupt
-    /// stream-reconstructed accounting such as [`MetricsObserver`].
+    /// from ingress to fate. The only admissible events are
+    /// [`SimEvent::AdmissionDropped`] and [`SimEvent::CascadeForfeited`] —
+    /// the lifecycle stages that happen *outside* the core (the serving
+    /// layer's refusals and the graph layer's forfeits); every other
+    /// variant describes an engine decision, and a forged one (terminal or
+    /// not) would corrupt stream-reconstructed accounting such as
+    /// [`MetricsObserver`].
     ///
     /// # Panics
     ///
     /// Panics if `ev` is any variant other than
-    /// [`SimEvent::AdmissionDropped`].
+    /// [`SimEvent::AdmissionDropped`] or [`SimEvent::CascadeForfeited`].
     ///
     /// [`MetricsObserver`]: crate::MetricsObserver
     pub fn notify_observers(&mut self, ev: &SimEvent) {
         assert!(
-            matches!(ev, SimEvent::AdmissionDropped { .. }),
-            "only AdmissionDropped may be forwarded from outside the engine: {ev:?}"
+            matches!(
+                ev,
+                SimEvent::AdmissionDropped { .. } | SimEvent::CascadeForfeited { .. }
+            ),
+            "only AdmissionDropped/CascadeForfeited may be forwarded from outside the engine: {ev:?}"
         );
         emit(&mut self.observers, *ev);
     }

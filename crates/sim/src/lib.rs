@@ -71,7 +71,9 @@ pub use engine::Simulation;
 pub use error::SimError;
 pub use event::Event;
 pub use metrics::{TaskFate, TrialResult};
-pub use observer::{AdmissionDropKind, DropKind, EventLog, MetricsObserver, SimEvent, SimObserver};
+pub use observer::{
+    AdmissionDropKind, DropKind, EventLog, ForfeitKind, MetricsObserver, SimEvent, SimObserver,
+};
 pub use report::SimReport;
 pub use runner::{RunSpec, TrialRunner};
 // Re-exported so drivers reading `StepOutcome` work counters (or building

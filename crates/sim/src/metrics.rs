@@ -21,6 +21,13 @@ pub enum TaskFate {
     DroppedProactive,
     /// Lost when its machine failed mid-execution (failure injection).
     LostToFailure,
+    /// Forfeited by a dependency-aware graph layer before it was ever
+    /// injected: a predecessor was dropped/killed/lost, its subtree was
+    /// pruned, or chain-aware admission shed it at release time. The
+    /// engine itself never assigns this fate — it exists so graph-level
+    /// fate tables (`taskdrop_dag`) and stream-reconstructed accounting
+    /// share one vocabulary with the per-task fates.
+    Forfeited,
 }
 
 /// Metrics of one simulation trial.
@@ -54,6 +61,11 @@ pub struct TrialResult {
     /// is enabled).
     #[serde(default)]
     pub lost_to_failure: usize,
+    /// Counted graph nodes forfeited before injection by a
+    /// dependency-aware layer (0 for independent-task trials; see
+    /// [`TaskFate::Forfeited`]).
+    #[serde(default)]
+    pub forfeited: usize,
     /// Whole-trial busy time per machine, in ticks.
     pub busy_ticks: Vec<u64>,
     /// Whole-trial dollar cost of busy time (AWS-style hourly prices).
@@ -93,6 +105,7 @@ impl TrialResult {
         let mut reactive = 0;
         let mut proactive = 0;
         let mut lost = 0;
+        let mut forfeited = 0;
         for fate in &fates[lo..hi] {
             match fate.expect("every task must have a fate after drain") {
                 TaskFate::OnTime => on_time += 1,
@@ -101,6 +114,7 @@ impl TrialResult {
                 TaskFate::DroppedReactive => reactive += 1,
                 TaskFate::DroppedProactive => proactive += 1,
                 TaskFate::LostToFailure => lost += 1,
+                TaskFate::Forfeited => forfeited += 1,
             }
         }
         let cost_dollars: f64 = busy_ticks
@@ -118,6 +132,7 @@ impl TrialResult {
             dropped_reactive: reactive,
             dropped_proactive: proactive,
             lost_to_failure: lost,
+            forfeited,
             busy_ticks,
             cost_dollars,
             makespan,
@@ -178,6 +193,7 @@ impl TrialResult {
             + self.dropped_reactive
             + self.dropped_proactive
             + self.lost_to_failure
+            + self.forfeited
             == self.counted_tasks
     }
 }
@@ -197,11 +213,24 @@ mod tests {
             dropped_reactive: 50,
             dropped_proactive: 450,
             lost_to_failure: 0,
+            forfeited: 0,
             busy_ticks: vec![1000, 2000],
             cost_dollars: 2.0,
             makespan: 90_000,
             mapping_events: 2400,
         }
+    }
+
+    #[test]
+    fn forfeited_counts_toward_conservation() {
+        let mut r = sample();
+        r.forfeited = 30;
+        assert!(!r.is_conserved(), "forfeits must be matched by counted tasks");
+        r.counted_tasks += 30;
+        r.total_tasks += 30;
+        assert!(r.is_conserved());
+        // Forfeited work dilutes robustness: the denominator grew.
+        assert!(r.robustness_pct() < 40.0);
     }
 
     #[test]

@@ -52,6 +52,23 @@ pub enum AdmissionDropKind {
     Invalid,
 }
 
+/// Why a dependency-aware layer forfeited a graph node before it ever
+/// reached the core (see [`SimEvent::CascadeForfeited`]). Forfeiture is the
+/// graph counterpart of a drop: the node itself was still viable, but the
+/// work it depends on (or the subtree it anchors) is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForfeitKind {
+    /// A predecessor was dropped, killed, or lost, so this node's inputs
+    /// will never exist.
+    Cascade,
+    /// The node's whole subtree was shed by a graph-aware pruning policy
+    /// (its estimated chance of success fell below the threshold).
+    Pruned,
+    /// A chain-aware admission controller turned the node away at release
+    /// time; with its output missing, the subtree is forfeited with it.
+    AdmissionShed,
+}
+
 /// One engine state change, streamed to observers as it happens.
 ///
 /// Every task admitted to the core receives **exactly one terminal event**:
@@ -168,6 +185,30 @@ pub enum SimEvent {
         /// Which backpressure rule fired.
         kind: AdmissionDropKind,
     },
+    /// A dependency-aware graph layer (`taskdrop_dag`) forfeited a held
+    /// graph node: its predecessors can no longer produce the inputs it
+    /// needs, its subtree was pruned, or admission shed it at release time.
+    /// Emitted from outside the core through
+    /// [`SimCore::notify_observers`](crate::SimCore::notify_observers),
+    /// never by the core itself. The node was never injected, so it has no
+    /// [`TaskId`] and this is **not** a terminal event for the core's own
+    /// fate accounting — it is the graph layer's loss ledger, mirrored into
+    /// [`MetricsObserver`] totals as [`TaskFate::Forfeited`].
+    CascadeForfeited {
+        /// Graph instance the node belongs to (the coordinator's dense
+        /// graph index).
+        graph: u64,
+        /// Node index within its graph.
+        node: u32,
+        /// The resolved core task whose fate triggered the cascade, if the
+        /// trigger was a predecessor's drop/kill/loss (`None` for pruning
+        /// and admission shedding, which fire before any task exists).
+        cause: Option<TaskId>,
+        /// Decision time.
+        now: Tick,
+        /// Why the node was forfeited.
+        kind: ForfeitKind,
+    },
 }
 
 impl SimEvent {
@@ -261,6 +302,8 @@ pub struct MetricsObserver {
     running_since: Vec<Option<Tick>>,
     makespan: Tick,
     mapping_events: u64,
+    /// Graph nodes forfeited before injection ([`SimEvent::CascadeForfeited`]).
+    forfeited: usize,
 }
 
 impl MetricsObserver {
@@ -277,7 +320,16 @@ impl MetricsObserver {
             running_since: vec![None; scenario.machine_count()],
             makespan: 0,
             mapping_events: 0,
+            forfeited: 0,
         }
+    }
+
+    /// Graph nodes seen forfeited so far (the
+    /// [`SimEvent::CascadeForfeited`] tally; 0 for independent-task
+    /// trials).
+    #[must_use]
+    pub fn forfeited(&self) -> usize {
+        self.forfeited
     }
 
     fn set_fate(&mut self, task: TaskId, fate: TaskFate) {
@@ -299,6 +351,14 @@ impl MetricsObserver {
 
     /// The reconstructed [`TrialResult`].
     ///
+    /// Forfeited graph nodes never received a [`TaskId`], so they ride on
+    /// top of the per-task fate table: each observed
+    /// [`SimEvent::CascadeForfeited`] adds one task with
+    /// [`TaskFate::Forfeited`] to the totals and the counted window (never
+    /// boundary-trimmed — forfeiture is a steady-state loss, not a warm-up
+    /// artefact), keeping the result conserved and the robustness
+    /// denominator honest about every unit of offered graph work.
+    ///
     /// # Errors
     ///
     /// [`SimError::NotDrained`] if any observed task has no terminal event
@@ -309,7 +369,7 @@ impl MetricsObserver {
         if resolved != n {
             return Err(SimError::NotDrained { resolved, total: n });
         }
-        Ok(TrialResult::from_accounting(
+        let mut result = TrialResult::from_accounting(
             &self.fates,
             self.exclude_boundary,
             self.approx_value,
@@ -317,7 +377,11 @@ impl MetricsObserver {
             &self.prices,
             self.makespan,
             self.mapping_events,
-        ))
+        );
+        result.total_tasks += self.forfeited;
+        result.counted_tasks += self.forfeited;
+        result.forfeited += self.forfeited;
+        Ok(result)
     }
 }
 
@@ -347,6 +411,9 @@ impl SimObserver for MetricsObserver {
             SimEvent::MappingRound { now } => {
                 self.makespan = now;
                 self.mapping_events += 1;
+            }
+            SimEvent::CascadeForfeited { .. } => {
+                self.forfeited += 1;
             }
             _ => {}
         }

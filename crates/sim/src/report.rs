@@ -89,6 +89,7 @@ mod tests {
             dropped_reactive: 20,
             dropped_proactive: 100 - on_time - 10 - 20,
             lost_to_failure: 0,
+            forfeited: 0,
             busy_ticks: vec![100],
             cost_dollars: 1.0,
             makespan: 1000,

@@ -1,0 +1,226 @@
+//! Dependency-graph workload generators for the `taskdrop_dag` layer.
+//!
+//! Every generator here produces a [`GraphBlueprint`]: the *untyped* half
+//! of a task graph — node task types, per-node slack, and directed edges —
+//! that `taskdrop_dag::TaskGraph::from_blueprint` validates into a real
+//! graph (this crate sits below the graph crate in the dependency order,
+//! so the blueprint is deliberately a plain data bag with no topology
+//! guarantees of its own; the constructors below only ever emit acyclic
+//! shapes, which validation then certifies).
+//!
+//! Three shapes cover the scenarios the ROADMAP names:
+//!
+//! * [`linear_chain`] — a serverless function chain: `n₀ → n₁ → … → nₖ`;
+//! * [`fan_out_fan_in`] — a scatter/gather: one source, `width` parallel
+//!   workers, one sink;
+//! * [`random_layered`] — a layered random DAG (each node draws its
+//!   predecessors from the previous layer), the standard synthetic-DAG
+//!   shape of the scheduling literature.
+//!
+//! Determinism is the same contract as the rest of this crate: all draws
+//! come from a fresh RNG keyed off the caller's seed
+//! ([`derive_seed`]), so a given seed always
+//! yields the same blueprint, independent of call order or platform.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use taskdrop_model::TaskTypeId;
+use taskdrop_pmf::Tick;
+use taskdrop_stats::{derive_seed, new_rng};
+
+/// One node of a [`GraphBlueprint`]: what to run and how much time the
+/// node gets once its predecessors have delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlueprintNode {
+    /// Task type to execute (indexes the scenario's PET matrix).
+    pub type_id: TaskTypeId,
+    /// Relative deadline: ticks from the node's *release* (all
+    /// predecessors complete) to its hard deadline. Must be positive.
+    pub slack: Tick,
+}
+
+/// An unvalidated task graph: nodes plus `(predecessor, successor)` edges
+/// over node indices. Produced by the generators in this module, consumed
+/// by `taskdrop_dag::TaskGraph::from_blueprint` (which checks index
+/// bounds, duplicate edges, and acyclicity).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphBlueprint {
+    /// Tick at which the graph's root nodes become eligible for release.
+    pub arrival: Tick,
+    /// Node specifications; a node's index is its identity.
+    pub nodes: Vec<BlueprintNode>,
+    /// Directed dependency edges `(pred, succ)` by node index.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Uniform task type in `0..task_types`.
+fn draw_type(rng: &mut taskdrop_stats::Rng64, task_types: u16) -> TaskTypeId {
+    TaskTypeId(rng.gen_range(0..task_types as usize) as u16)
+}
+
+/// A serverless function chain of `len` nodes: `n₀ → n₁ → … → n_{len-1}`,
+/// each node a uniformly random type in `0..task_types` with `slack` ticks
+/// from release to deadline.
+///
+/// # Panics
+///
+/// Panics if `len` or `task_types` is zero, or `slack` is zero.
+#[must_use]
+pub fn linear_chain(
+    seed: u64,
+    arrival: Tick,
+    len: usize,
+    task_types: u16,
+    slack: Tick,
+) -> GraphBlueprint {
+    assert!(len > 0, "a chain needs at least one node");
+    assert!(task_types > 0 && slack > 0, "degenerate chain parameters");
+    let mut rng = new_rng(derive_seed(seed, 0xC4A1_0000));
+    let nodes = (0..len)
+        .map(|_| BlueprintNode { type_id: draw_type(&mut rng, task_types), slack })
+        .collect();
+    let edges = (1..len as u32).map(|i| (i - 1, i)).collect();
+    GraphBlueprint { arrival, nodes, edges }
+}
+
+/// A scatter/gather graph: one source node fanning out to `width` parallel
+/// workers fanning back into one sink (`width + 2` nodes total). Types are
+/// uniformly random; every node gets `slack` ticks from release.
+///
+/// # Panics
+///
+/// Panics if `width` or `task_types` is zero, or `slack` is zero.
+#[must_use]
+pub fn fan_out_fan_in(
+    seed: u64,
+    arrival: Tick,
+    width: usize,
+    task_types: u16,
+    slack: Tick,
+) -> GraphBlueprint {
+    assert!(width > 0, "fan-out needs at least one worker");
+    assert!(task_types > 0 && slack > 0, "degenerate fan parameters");
+    let mut rng = new_rng(derive_seed(seed, 0xFA40_0000));
+    let n = width + 2;
+    let nodes =
+        (0..n).map(|_| BlueprintNode { type_id: draw_type(&mut rng, task_types), slack }).collect();
+    let sink = (n - 1) as u32;
+    let mut edges = Vec::with_capacity(2 * width);
+    for w in 1..=width as u32 {
+        edges.push((0, w));
+        edges.push((w, sink));
+    }
+    GraphBlueprint { arrival, nodes, edges }
+}
+
+/// A random layered DAG: `layers` layers of 1..=`max_width` nodes each
+/// (uniform), where every node in layer `k > 0` draws each node of layer
+/// `k - 1` as a predecessor with probability `edge_prob` — and at least
+/// one, so no interior node floats free of the layering. Per-node slack is
+/// uniform in `slack.0..=slack.1`.
+///
+/// # Panics
+///
+/// Panics if `layers`, `max_width` or `task_types` is zero, `edge_prob`
+/// is outside `[0, 1]`, or the slack range is empty or starts at zero.
+#[must_use]
+pub fn random_layered(
+    seed: u64,
+    arrival: Tick,
+    layers: usize,
+    max_width: usize,
+    edge_prob: f64,
+    task_types: u16,
+    slack: (Tick, Tick),
+) -> GraphBlueprint {
+    assert!(layers > 0 && max_width > 0, "degenerate layer shape");
+    assert!((0.0..=1.0).contains(&edge_prob), "edge probability must be in [0, 1]");
+    assert!(task_types > 0, "need at least one task type");
+    assert!(slack.0 > 0 && slack.0 <= slack.1, "slack range must be non-empty and positive");
+    let mut rng = new_rng(derive_seed(seed, 0x1A7E_0000));
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    let mut prev_layer: Vec<u32> = Vec::new();
+    for _ in 0..layers {
+        let width = rng.gen_range(1..=max_width);
+        let layer: Vec<u32> = (0..width)
+            .map(|_| {
+                let id = nodes.len() as u32;
+                let slack_ticks = rng.gen_range(slack.0 as usize..=slack.1 as usize) as Tick;
+                nodes.push(BlueprintNode {
+                    type_id: draw_type(&mut rng, task_types),
+                    slack: slack_ticks,
+                });
+                id
+            })
+            .collect();
+        if !prev_layer.is_empty() {
+            for &succ in &layer {
+                let mut wired = false;
+                for &pred in &prev_layer {
+                    if rng.gen::<f64>() < edge_prob {
+                        edges.push((pred, succ));
+                        wired = true;
+                    }
+                }
+                if !wired {
+                    // Keep the layering honest: every interior node depends
+                    // on at least one node of the previous layer.
+                    let pick = prev_layer[rng.gen_range(0..prev_layer.len())];
+                    edges.push((pick, succ));
+                }
+            }
+        }
+        prev_layer = layer;
+    }
+    GraphBlueprint { arrival, nodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_are_chains() {
+        let bp = linear_chain(7, 100, 5, 12, 300);
+        assert_eq!(bp.nodes.len(), 5);
+        assert_eq!(bp.edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(bp.arrival, 100);
+        assert!(bp.nodes.iter().all(|n| n.slack == 300 && n.type_id.0 < 12));
+    }
+
+    #[test]
+    fn fan_shape_has_one_source_and_one_sink() {
+        let bp = fan_out_fan_in(7, 0, 4, 12, 200);
+        assert_eq!(bp.nodes.len(), 6);
+        assert_eq!(bp.edges.len(), 8);
+        assert!(bp.edges.iter().all(|&(p, s)| p < s), "edges point forward");
+        let sink = (bp.nodes.len() - 1) as u32;
+        assert_eq!(bp.edges.iter().filter(|&&(p, _)| p == 0).count(), 4);
+        assert_eq!(bp.edges.iter().filter(|&&(_, s)| s == sink).count(), 4);
+    }
+
+    #[test]
+    fn layered_dags_are_forward_wired_and_deterministic() {
+        let a = random_layered(42, 0, 5, 4, 0.5, 12, (200, 400));
+        let b = random_layered(42, 0, 5, 4, 0.5, 12, (200, 400));
+        assert_eq!(a, b, "same seed, same blueprint");
+        let c = random_layered(43, 0, 5, 4, 0.5, 12, (200, 400));
+        assert_ne!(a, c, "different seed, different blueprint");
+        // Forward edges only (acyclic by construction) and every
+        // non-root node has a predecessor.
+        assert!(a.edges.iter().all(|&(p, s)| p < s));
+        for &(_, s) in &a.edges {
+            assert!((s as usize) < a.nodes.len());
+        }
+        assert!(a.nodes.iter().all(|n| (200..=400).contains(&n.slack)));
+    }
+
+    #[test]
+    fn blueprints_roundtrip_through_serde() {
+        let bp = random_layered(9, 50, 3, 3, 0.7, 4, (100, 100));
+        let json = serde_json::to_string(&bp).unwrap();
+        let back: GraphBlueprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(bp, back);
+    }
+}

@@ -27,12 +27,17 @@
 //! recorded-trace replay ([`TrafficSource`]) — whose entire state is a few
 //! serializable integer cursors, so a checkpointed stream resumes
 //! byte-identically.
+//!
+//! For dependency-aware workloads, the [`graphgen`] module generates task
+//! graph *blueprints* — serverless function chains, scatter/gather fans,
+//! random layered DAGs — that `taskdrop_dag` validates and coordinates.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod arrival;
+pub mod graphgen;
 mod scenario;
 mod specint;
 pub mod streaming;
@@ -40,6 +45,7 @@ mod transcode;
 mod workload;
 
 pub use arrival::{OversubscriptionLevel, SPECINT_WINDOW, TRANSCODE_WINDOW};
+pub use graphgen::{BlueprintNode, GraphBlueprint};
 pub use scenario::{ExecTruth, Scenario, ScenarioBuilder};
 pub use specint::specint_mean_table;
 pub use streaming::{BurstySource, DiurnalSource, OfferedTask, TraceSource, TrafficSource};

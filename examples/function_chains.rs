@@ -1,0 +1,130 @@
+//! Serverless function chains: dependency-aware execution over the
+//! open-world core.
+//!
+//! A function chain is a linear [`TaskGraph`]: each stage becomes eligible
+//! only when the previous stage delivers its output. The [`DagCoordinator`]
+//! holds not-yet-ready stages outside the engine and releases each one via
+//! `SimCore::inject` the moment its predecessor completes, so the paper's
+//! single-task dropping machinery keeps working unmodified underneath.
+//!
+//! Two graph-level policies do the interesting work here:
+//!
+//! * **Function-chain merging** (`with_merging`): bursts contain *identical*
+//!   pending requests — same chain, same arrival, same deadline. The
+//!   coordinator executes one task and fans its completion out to every
+//!   waiting chain, the serverless trick of deduplicating hot invocations.
+//! * **Live subtree pruning** (`with_pruning`): each released node's
+//!   *subtree* chance of success (own Eq-2 chance × weakest descendant
+//!   chain) is priced against the queue tails at release; chains that can
+//!   no longer make their deadlines are forfeited whole instead of wasting
+//!   queue capacity on doomed prefixes.
+//!
+//! ```sh
+//! cargo run --release --example function_chains             # full demo scale
+//! cargo run --release --example function_chains -- --quick  # seconds-scale smoke
+//! ```
+//!
+//! [`TaskGraph`]: taskdrop::dag::TaskGraph
+//! [`DagCoordinator`]: taskdrop::dag::DagCoordinator
+
+use std::cell::RefCell;
+use taskdrop::prelude::*;
+use taskdrop::workload::graphgen;
+
+fn main() {
+    let scale = taskdrop::demo::scale_from_args();
+    let scenario = Scenario::specint(42);
+    let config = taskdrop::demo::scaled_config(scale);
+    let dropper = ProactiveDropper::paper_default();
+
+    let bursts = ((48.0 * scale).round() as usize).max(6);
+    let gap: u64 = 160;
+    println!(
+        "function chains on `{}`: {} bursts of identical requests, one every {} ticks\n",
+        scenario.name, bursts, gap
+    );
+
+    // A printing observer shows the first few graph-level forfeits live —
+    // pruned subtrees and cascades the moment the coordinator decides them.
+    const SHOWN: usize = 8;
+    let printed = RefCell::new(0usize);
+    let mut core =
+        SimCore::open(&scenario, &Pam, &dropper, config, 7).expect("valid configuration");
+    core.attach(|ev: &SimEvent| {
+        if let SimEvent::CascadeForfeited { graph, node, now, kind, .. } = *ev {
+            let mut p = printed.borrow_mut();
+            if *p < SHOWN {
+                *p += 1;
+                let why = match kind {
+                    ForfeitKind::Pruned => "subtree chance below threshold at release",
+                    ForfeitKind::Cascade => "an ancestor failed to deliver",
+                    ForfeitKind::AdmissionShed => "admission refused the release",
+                };
+                println!("  [{now:>6}] forfeit chain {graph} stage {node}: {why}");
+            }
+        }
+    });
+    let tap = DagTap::new();
+    tap.attach(&mut core);
+    let mut coord = DagCoordinator::new().with_merging().with_pruning(0.3);
+
+    for b in 0..bursts {
+        let arrival = gap * b as u64;
+        coord.advance(&mut core, &tap, arrival).expect("advance between bursts");
+        // Each burst carries several *identical* requests for one chain —
+        // same blueprint, same arrival, same deadlines — which is exactly
+        // the shape merging collapses to a single execution.
+        let dupes = 1 + b % 3;
+        let len = 2 + b % 3;
+        // Every fifth burst asks the impossible: its slack cannot cover
+        // even one stage's execution, so pruning forfeits the whole chain
+        // at release instead of queueing a doomed prefix.
+        let slack = if b % 5 == 4 { 25 } else { 420 };
+        let bp = graphgen::linear_chain(
+            b as u64,
+            arrival,
+            len,
+            scenario.task_type_count() as u16,
+            slack,
+        );
+        let graph = TaskGraph::from_blueprint(&bp).expect("generated chains validate");
+        for _ in 0..dupes {
+            coord.add_graph(&mut core, graph.clone()).expect("chains inject cleanly");
+        }
+    }
+
+    coord.run_to_drain(&mut core, &tap).expect("drain");
+    assert!(coord.all_resolved() && coord.audit(), "conservation holds at drain");
+
+    let st = coord.stats();
+    println!("\ndrained at t={}: {} chains, {} stages total", core.now(), st.graphs, st.nodes);
+    println!(
+        "  executed {:>4} tasks ({} rode a merged twin — {:.0} % of the work deduplicated)",
+        st.injected,
+        st.merged,
+        100.0 * st.merged as f64 / st.nodes as f64
+    );
+    println!(
+        "  on time  {:>4} ({:.1} % of stages), {} late, {} dropped, {} lost",
+        st.on_time + st.on_time_approx,
+        100.0 * st.on_time_fraction(),
+        st.late,
+        st.dropped,
+        st.lost
+    );
+    println!(
+        "  forfeit  {:>4} without queueing: {} pruned subtrees, {} cascades, {} admission-shed",
+        st.forfeited(),
+        st.forfeited_pruned,
+        st.forfeited_cascade,
+        st.forfeited_shed
+    );
+    println!(
+        "\nEvery stage reached exactly one fate (injected {} + merged {} + forfeited {} = {}\n\
+         stages) — the coordinator's conservation invariant, checked live by `audit()`.",
+        st.injected,
+        st.merged,
+        st.forfeited(),
+        st.nodes
+    );
+}

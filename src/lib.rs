@@ -26,6 +26,11 @@
 //!   with pluggable backpressure, multi-shard driving on a shared virtual
 //!   clock, and serializable shard checkpoints with mid-flight
 //!   kill/restore.
+//! * [`dag`] — dependency-aware execution on top of the open-world core:
+//!   validated [`TaskGraph`](taskdrop_dag::TaskGraph)s, the
+//!   [`DagCoordinator`](taskdrop_dag::DagCoordinator) releasing nodes as
+//!   predecessors deliver, cascade forfeiture with conserved accounting,
+//!   subtree chance pruning and serverless function-chain merging.
 //! * [`experiment`] — the fluent
 //!   [`ExperimentBuilder`](experiment::ExperimentBuilder) facade: one
 //!   chainable, serialisable entry point for scenario + workload + policies
@@ -41,6 +46,7 @@ pub mod experiment;
 pub mod service;
 
 pub use taskdrop_core as core;
+pub use taskdrop_dag as dag;
 pub use taskdrop_model as model;
 pub use taskdrop_pmf as pmf;
 pub use taskdrop_sched as sched;
@@ -115,6 +121,10 @@ pub mod prelude {
         ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
         ThresholdDropper,
     };
+    pub use taskdrop_dag::{
+        DagCheckpoint, DagCoordinator, DagError, DagStats, DagTap, NodeRef, NodeState, PrunePolicy,
+        TaskGraph,
+    };
     pub use taskdrop_model::ctx::{CacheStats, PolicyCtx};
     pub use taskdrop_model::view::{
         Assignment, DropContext, MappingInput, QueueView, UnmappedView,
@@ -128,12 +138,13 @@ pub mod prelude {
         ShardCheckpoint,
     };
     pub use taskdrop_sim::{
-        AdmissionDropKind, Checkpoint, DropKind, DropperKind, EventLog, MetricsObserver, RunSpec,
-        SimConfig, SimCore, SimError, SimEvent, SimObserver, SimReport, SimState, Simulation,
-        StepOutcome, TaskFate, TrialResult, TrialRunner,
+        AdmissionDropKind, Checkpoint, DropKind, DropperKind, EventLog, ForfeitKind,
+        MetricsObserver, RunSpec, SimConfig, SimCore, SimError, SimEvent, SimObserver, SimReport,
+        SimState, Simulation, StepOutcome, TaskFate, TrialResult, TrialRunner,
     };
     pub use taskdrop_workload::{
-        BurstySource, DiurnalSource, OfferedTask, OversubscriptionLevel, Scenario, TraceSource,
-        TrafficSource, Workload, SPECINT_WINDOW, TRANSCODE_WINDOW,
+        BlueprintNode, BurstySource, DiurnalSource, GraphBlueprint, OfferedTask,
+        OversubscriptionLevel, Scenario, TraceSource, TrafficSource, Workload, SPECINT_WINDOW,
+        TRANSCODE_WINDOW,
     };
 }

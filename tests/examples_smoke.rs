@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "custom_policy",
     "dropping_anatomy",
     "failure_injection",
+    "function_chains",
     "online_arrivals",
     "oversubscription_sweep",
     "quickstart",
