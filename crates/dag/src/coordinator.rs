@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use taskdrop_core::DropPolicy;
 use taskdrop_model::{TaskId, TaskTypeId};
+use taskdrop_obs::{DagRecord, Telemetry};
 use taskdrop_pmf::Tick;
 use taskdrop_sched::MappingHeuristic;
 use taskdrop_serve::{AdmissionController, QueueTails};
@@ -154,6 +155,24 @@ impl DagCoordinator {
     #[must_use]
     pub fn stats(&self) -> DagStats {
         self.stats
+    }
+
+    /// Mirrors the coordinator's cumulative release/merge/forfeit rates
+    /// into `telemetry` (counters under `scope`, plus one `dag` JSONL
+    /// record stamped `now`). Read-only — call it at any cadence, e.g.
+    /// after each [`DagCoordinator::advance`]; counters are monotone so
+    /// re-recording the same state is a no-op.
+    pub fn record_telemetry(&self, telemetry: &Telemetry, scope: &str, now: Tick) {
+        telemetry.record_dag(&DagRecord {
+            record: "dag".to_string(),
+            scope: scope.to_string(),
+            t: now,
+            released: self.stats.injected,
+            merged: self.stats.merged,
+            forfeited_cascade: self.stats.forfeited_cascade,
+            forfeited_pruned: self.stats.forfeited_pruned,
+            forfeited_shed: self.stats.forfeited_shed,
+        });
     }
 
     /// The admission controller, if one is configured.
@@ -749,5 +768,38 @@ mod tests {
         coord2.run_to_drain(&mut core2, &tap2).unwrap();
         assert_eq!(coord, coord2, "resumed run converges to the identical end state");
         assert_eq!(core.now(), core2.now());
+    }
+
+    #[test]
+    fn record_telemetry_mirrors_stats_into_counters() {
+        let s = Scenario::specint(11);
+        let mut core = open_core(&s);
+        let tap = DagTap::new();
+        tap.attach(&mut core);
+        let telemetry = Telemetry::new();
+        telemetry.attach_counters(&mut core, "dag");
+        let mut coord = DagCoordinator::new();
+        // Diamond with a doomed left arm: exercises releases AND forfeits.
+        coord
+            .add_graph(
+                &mut core,
+                graph(0, &[2_000, 1, 2_000, 2_000], &[(0, 1), (0, 2), (1, 3), (2, 3)]),
+            )
+            .unwrap();
+        coord.run_to_drain(&mut core, &tap).unwrap();
+        coord.record_telemetry(&telemetry, "dag", core.now());
+        let st = coord.stats();
+        assert_eq!(telemetry.counter("dag_released_total", &[("scope", "dag")]), st.injected);
+        assert_eq!(telemetry.counter("dag_merged_total", &[("scope", "dag")]), st.merged);
+        // The forfeit counter is fed by the event stream itself, not the
+        // record call — the two ledgers must agree.
+        assert_eq!(
+            telemetry.counter("dag_forfeited_total", &[("scope", "dag"), ("kind", "cascade")]),
+            st.forfeited_cascade,
+        );
+        assert!(telemetry.jsonl().contains("\"record\":\"dag\""));
+        // Monotone: re-recording identical cumulative state is a no-op.
+        coord.record_telemetry(&telemetry, "dag", core.now());
+        assert_eq!(telemetry.counter("dag_released_total", &[("scope", "dag")]), st.injected);
     }
 }

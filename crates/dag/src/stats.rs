@@ -11,6 +11,35 @@ use serde::{Deserialize, Serialize};
 /// `nodes == held + in_flight + resolved()`, which
 /// [`DagCoordinator::audit`](crate::DagCoordinator::audit) recounts from
 /// the state tables on demand.
+///
+/// ```
+/// use taskdrop_dag::DagStats;
+///
+/// // A drained coordinator: no node is held or in flight, so the
+/// // conservation identity collapses to resolved() == nodes, with every
+/// // terminal bucket — completions, drops, losses, and all three forfeit
+/// // kinds — accounted exactly once.
+/// let stats = DagStats {
+///     graphs: 2,
+///     nodes: 8,
+///     injected: 5,
+///     merged: 1,
+///     on_time: 3,
+///     on_time_approx: 1,
+///     late: 1,
+///     dropped: 1,
+///     lost: 0,
+///     forfeited_cascade: 1,
+///     forfeited_pruned: 1,
+///     forfeited_shed: 0,
+/// };
+/// assert_eq!(stats.resolved(), stats.nodes);
+/// assert_eq!(stats.forfeited(), 2);
+/// // Merged nodes ride an existing injection: engine work plus merges
+/// // covers every node that ever reached the core.
+/// assert_eq!(stats.injected + stats.merged, 6);
+/// assert!((stats.on_time_fraction() - 0.375).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct DagStats {
     /// Graphs registered.

@@ -57,8 +57,9 @@ pub fn classify(rel: &str) -> Option<FileClass> {
     }
 }
 
-const SIM_PATH: &[&str] =
-    &["pmf", "stats", "model", "sched", "core", "workload", "sim", "serve", "dag", "taskdrop"];
+const SIM_PATH: &[&str] = &[
+    "pmf", "stats", "model", "sched", "core", "workload", "sim", "obs", "serve", "dag", "taskdrop",
+];
 const CONCURRENCY_CORE: &[&str] = &["sim", "model", "core", "pmf", "dag"];
 
 impl Scope {

@@ -56,6 +56,31 @@ impl CacheStats {
     }
 }
 
+/// Human-readable hit-rate summary, e.g.
+/// `tail 1860/3947 hits (47.1%), conv 902/1200 hits (75.2%)`.
+/// Zero-lookup caches render as `(-)` rather than dividing by zero.
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn part(
+            f: &mut std::fmt::Formatter<'_>,
+            name: &str,
+            hits: u64,
+            misses: u64,
+        ) -> std::fmt::Result {
+            let total = hits + misses;
+            write!(f, "{name} {hits}/{total} hits ")?;
+            if total == 0 {
+                write!(f, "(-)")
+            } else {
+                write!(f, "({:.1}%)", 100.0 * hits as f64 / total as f64)
+            }
+        }
+        part(f, "tail", self.tail_hits, self.tail_misses)?;
+        write!(f, ", ")?;
+        part(f, "conv", self.conv_hits, self.conv_misses)
+    }
+}
+
 /// One machine's cached queue tail: the exact inputs it was computed from
 /// plus the result. A lookup hits only when every key field matches, so
 /// queue mutation (revision bump), a different predecessor completion
@@ -290,5 +315,13 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.tail_hits, stats.tail_misses), (1, 1));
         assert_eq!(stats.lookups(), 2);
+    }
+
+    #[test]
+    fn cache_stats_display_is_zero_safe() {
+        let stats =
+            CacheStats { tail_hits: 1_860, tail_misses: 2_087, conv_hits: 3, conv_misses: 1 };
+        assert_eq!(stats.to_string(), "tail 1860/3947 hits (47.1%), conv 3/4 hits (75.0%)");
+        assert_eq!(CacheStats::default().to_string(), "tail 0/0 hits (-), conv 0/0 hits (-)");
     }
 }

@@ -1,0 +1,170 @@
+//! The flight recorder: a bounded ring buffer of recent engine events.
+//!
+//! Attach a [`FlightRecorder`] clone to a core like any other observer;
+//! it keeps the last `capacity` [`SimEvent`]s. Its contents serialize
+//! into a [`FlightSnapshot`] so a shard checkpoint can carry them — after
+//! a kill/restore the buffer resumes from the checkpointed contents and,
+//! the replay being deterministic, ends up byte-identical to an
+//! undisturbed run, while the pre-kill contents survive as a post-mortem.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use taskdrop_sim::{SimEvent, SimObserver};
+
+/// Serialized flight-recorder contents (a [`FlightRecorder::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightSnapshot {
+    /// The ring capacity at snapshot time.
+    pub capacity: usize,
+    /// Recorded events, oldest first (at most `capacity`).
+    pub events: Vec<SimEvent>,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    capacity: usize,
+    events: VecDeque<SimEvent>,
+}
+
+/// A cheaply-cloneable handle to one bounded event ring.
+///
+/// All clones share the same buffer (the same single-threaded
+/// `Rc<RefCell<…>>` pattern as `DagTap`): attach one clone to the core,
+/// keep another to inspect or snapshot. Strictly read-only with respect
+/// to the engine — recording changes no outcome.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Rc<RefCell<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// An empty recorder keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a flight recorder needs capacity for at least one event");
+        FlightRecorder {
+            inner: Rc::new(RefCell::new(FlightInner {
+                capacity,
+                events: VecDeque::with_capacity(capacity),
+            })),
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Events currently held (at most [`FlightRecorder::capacity`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was cleared).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().events.is_empty()
+    }
+
+    /// The recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<SimEvent> {
+        self.inner.borrow().events.iter().copied().collect()
+    }
+
+    /// Records one event, evicting the oldest at capacity.
+    pub fn record(&self, ev: &SimEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(*ev);
+    }
+
+    /// Serializable copy of the current contents.
+    #[must_use]
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let inner = self.inner.borrow();
+        FlightSnapshot { capacity: inner.capacity, events: inner.events.iter().copied().collect() }
+    }
+
+    /// Replaces the buffer (and capacity) with a snapshot's contents —
+    /// the restore half of checkpointing.
+    pub fn restore(&self, snapshot: &FlightSnapshot) {
+        let mut inner = self.inner.borrow_mut();
+        inner.capacity = snapshot.capacity.max(1);
+        inner.events = snapshot.events.iter().copied().collect();
+        while inner.events.len() > inner.capacity {
+            inner.events.pop_front();
+        }
+    }
+
+    /// Drops all recorded events, keeping the capacity.
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
+    }
+}
+
+impl SimObserver for FlightRecorder {
+    fn on_event(&mut self, ev: &SimEvent) {
+        self.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskdrop_pmf::Tick;
+
+    fn round(now: Tick) -> SimEvent {
+        SimEvent::MappingRound { now }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let rec = FlightRecorder::new(3);
+        for t in 0..5 {
+            rec.record(&round(t));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.events(), vec![round(2), round(3), round(4)]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let rec = FlightRecorder::new(2);
+        let mut attached = rec.clone();
+        attached.on_event(&round(1));
+        assert_eq!(rec.events(), vec![round(1)]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips() {
+        let rec = FlightRecorder::new(4);
+        rec.record(&round(1));
+        rec.record(&round(2));
+        let snap = rec.snapshot();
+        rec.record(&round(3));
+        assert_eq!(rec.len(), 3);
+        rec.restore(&snap);
+        assert_eq!(rec.events(), vec![round(1), round(2)]);
+        assert_eq!(rec.capacity(), 4);
+    }
+
+    #[test]
+    fn snapshot_survives_serde() {
+        let rec = FlightRecorder::new(2);
+        rec.record(&round(7));
+        let json = serde_json::to_string(&rec.snapshot()).expect("serializable");
+        let back: FlightSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, rec.snapshot());
+    }
+}

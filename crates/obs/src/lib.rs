@@ -1,0 +1,53 @@
+//! Deterministic, virtual-clock-keyed telemetry for the `taskdrop` stack.
+//!
+//! The paper's claims are *measurements* — robustness, drop rates, cost
+//! over time — but the engine only reports end-of-run aggregates
+//! ([`TrialResult`](taskdrop_sim::TrialResult), `AdmissionStats`,
+//! `CacheStats`). This crate adds time-resolved visibility without
+//! touching engine semantics, and without ever consulting the wall clock:
+//! every timestamp in every export is a virtual [`Tick`](taskdrop_pmf::Tick),
+//! so instrumented runs are exactly reproducible (the `wall-clock` rule in
+//! `taskdrop_lint` is the guardrail).
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket
+//!   [`Histogram`]s keyed by `(name, labels)` in `BTreeMap` order, sampled
+//!   into a time series on virtual-clock boundaries.
+//! * [`Telemetry`] — the cheaply-cloneable handle wiring the registry into
+//!   a [`SimCore`](taskdrop_sim::SimCore) through the existing read-only
+//!   [`SimObserver`](taskdrop_sim::SimObserver) stream: per-event counters,
+//!   task lifecycle [`TaskSpan`]s (inject→map→start→terminal), and a
+//!   per-scope [`MetricsObserver`](taskdrop_sim::MetricsObserver) rollup
+//!   that reconstructs the engine's own `TrialResult` byte for byte.
+//! * [`FlightRecorder`] — a bounded ring buffer of recent
+//!   [`SimEvent`](taskdrop_sim::SimEvent)s that serializes into shard
+//!   checkpoints and survives into kill/restore post-mortems.
+//! * Exporters — a JSONL stream ([`Telemetry::jsonl`], byte-identical for
+//!   a given seed), a Prometheus-style text snapshot
+//!   ([`Telemetry::prometheus`]), and a
+//!   [`SimReport`](taskdrop_sim::SimReport)-compatible rollup
+//!   ([`Telemetry::report`]).
+//!
+//! Everything is strictly read-only with respect to the engine: attaching
+//! telemetry never changes a decision, an outcome, or a work counter —
+//! the disabled path (simply not attaching) allocates nothing and the
+//! instrumented path is byte-identical to it (pinned by the
+//! `telemetry_determinism` integration suite).
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+mod export;
+mod flight;
+mod registry;
+mod telemetry;
+mod trace;
+
+pub use export::{
+    CheckpointRecord, DagRecord, EpochRecord, KillRestoreRecord, RollupRecord, SampleRecord,
+    ShardEpoch, SpanRecord,
+};
+pub use flight::{FlightRecorder, FlightSnapshot};
+pub use registry::{Histogram, Metric, MetricKey, MetricLine, MetricsRegistry, SamplePoint};
+pub use telemetry::{fate_str, Telemetry, CHECKPOINT_BYTES_BUCKETS, TURNAROUND_BUCKETS};
+pub use trace::{SpanPoint, SpanTracker, TaskSpan};

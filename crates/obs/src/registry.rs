@@ -1,0 +1,448 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and a
+//! virtual-clock time series.
+//!
+//! Determinism is structural, not incidental: metrics live in a
+//! [`BTreeMap`] keyed by [`MetricKey`] (name, then sorted labels), so every
+//! iteration — samples, Prometheus rendering, JSONL export — walks the
+//! same order on every run, and every timestamp is a caller-supplied
+//! virtual [`Tick`]. The registry never reads the wall clock.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use taskdrop_pmf::Tick;
+
+/// A metric identity: a name plus a sorted label set.
+///
+/// Ordering is lexicographic on `(name, labels)`, which is exactly the
+/// registry's iteration (and therefore export) order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key; labels are sorted by name so `[("a","1"),("b","2")]`
+    /// and `[("b","2"),("a","1")]` are the same metric.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// The metric name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label pairs.
+    #[must_use]
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// Renders only the label set, e.g. `{kind="mapped",scope="trial"}`
+    /// (empty string for an unlabelled metric).
+    fn label_suffix(&self) -> String {
+        render_labels(&self.labels, None)
+    }
+}
+
+/// Renders a label list (plus an optional extra pair appended last) in
+/// Prometheus text syntax; empty list renders as the empty string.
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        // Minimal escaping: our label values are kinds and shard names,
+        // but a quote or backslash must not corrupt the line format.
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.label_suffix())
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations (virtual-tick
+/// durations, checkpoint byte sizes). Buckets are inclusive upper bounds
+/// (`le` semantics) plus an implicit `+Inf` overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Strictly increasing inclusive upper bounds.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the trailing `+Inf` bucket.
+    counts: Vec<u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of all observed values.
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be non-empty and strictly
+    /// increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or non-increasing bounds.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket bounds must strictly increase");
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0 }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The configured inclusive upper bounds (without `+Inf`).
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the `+Inf` overflow bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// One flattened metric value inside a [`SamplePoint`] or JSONL sample
+/// record: the rendered key (`name{labels}`) and the value as `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricLine {
+    /// Rendered metric key, e.g. `sim_events_total{kind="mapped",scope="t"}`.
+    pub k: String,
+    /// The value (counters widen losslessly up to 2⁵³).
+    pub v: f64,
+}
+
+/// The registry state flattened at one virtual-clock instant.
+///
+/// Histograms contribute `<name>_count` and `<name>_sum` lines; counters
+/// and gauges contribute one line each, in [`MetricKey`] order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// The virtual-clock instant the sample was taken at.
+    pub t: Tick,
+    /// Flattened metric values, in registry (key) order.
+    pub metrics: Vec<MetricLine>,
+}
+
+/// Counters, gauges and histograms keyed by `(name, labels)`, with an
+/// append-only time series of [`SamplePoint`]s.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricKey, Metric>,
+    series: Vec<SamplePoint>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.entry(key).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a counter to an externally maintained cumulative value (e.g.
+    /// mirroring `CacheStats` or `DagStats` totals). The counter stays
+    /// monotone: a value below the current one panics, since that would
+    /// mean two writers disagree about the same ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key holds a different metric type, or on a decrease.
+    pub fn counter_set(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.entry(key).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => {
+                assert!(value >= *v, "{name} would decrease: {} -> {value}", *v);
+                *v = value;
+            }
+            other => panic!("{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge, creating it if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.entry(key).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records one observation into a fixed-bucket histogram, creating it
+    /// with `bounds` on first touch (later calls must pass equal bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key holds a different metric type or the bounds
+    /// disagree with the histogram's.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], bounds: &[u64], value: u64) {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.entry(key).or_insert_with(|| Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => {
+                assert_eq!(h.bounds(), bounds, "{name} re-registered with different buckets");
+                h.observe(value);
+            }
+            other => panic!("{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// A counter's current value (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A gauge's current value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A histogram, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        match self.metrics.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &Metric)> {
+        self.metrics.iter()
+    }
+
+    /// Flattens the current registry state into a [`SamplePoint`] at
+    /// virtual time `t`, appends it to the series, and returns it.
+    pub fn sample(&mut self, t: Tick) -> SamplePoint {
+        let mut metrics = Vec::new();
+        for (key, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(v) => {
+                    metrics.push(MetricLine { k: key.to_string(), v: *v as f64 });
+                }
+                Metric::Gauge(v) => metrics.push(MetricLine { k: key.to_string(), v: *v }),
+                Metric::Histogram(h) => {
+                    let suffix = key.label_suffix();
+                    metrics.push(MetricLine {
+                        k: format!("{}_count{}", key.name(), suffix),
+                        v: h.count() as f64,
+                    });
+                    metrics.push(MetricLine {
+                        k: format!("{}_sum{}", key.name(), suffix),
+                        v: h.sum() as f64,
+                    });
+                }
+            }
+        }
+        let point = SamplePoint { t, metrics };
+        self.series.push(point.clone());
+        point
+    }
+
+    /// The recorded time series, oldest first.
+    #[must_use]
+    pub fn series(&self) -> &[SamplePoint] {
+        &self.series
+    }
+
+    /// Renders the current state in Prometheus text exposition style:
+    /// one `# TYPE` comment per metric name, values in key order.
+    /// Purely a function of registry contents — byte-identical across
+    /// runs that made the same updates.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, metric) in &self.metrics {
+            if last_name != Some(key.name()) {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", key.name(), kind));
+                last_name = Some(key.name());
+            }
+            match metric {
+                Metric::Counter(v) => out.push_str(&format!("{key} {v}\n")),
+                Metric::Gauge(v) => out.push_str(&format!("{key} {v}\n")),
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &count) in h.bucket_counts().iter().enumerate() {
+                        cumulative += count;
+                        let le = match h.bounds().get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            key.name(),
+                            render_labels(key.labels(), Some(("le", &le))),
+                            cumulative,
+                        ));
+                    }
+                    let suffix = key.label_suffix();
+                    out.push_str(&format!("{}_sum{} {}\n", key.name(), suffix, h.sum()));
+                    out.push_str(&format!("{}_count{} {}\n", key.name(), suffix, h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_labels_and_render_stably() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "m{a=\"1\",b=\"2\"}");
+        assert_eq!(MetricKey::new("m", &[]).to_string(), "m");
+    }
+
+    #[test]
+    fn counters_accumulate_and_counter_set_is_monotone() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", &[("k", "x")], 2);
+        r.counter_add("c", &[("k", "x")], 3);
+        assert_eq!(r.counter("c", &[("k", "x")]), 5);
+        assert_eq!(r.counter("c", &[("k", "y")]), 0);
+        r.counter_set("d", &[], 7);
+        r.counter_set("d", &[], 9);
+        assert_eq!(r.counter("d", &[]), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "would decrease")]
+    fn counter_set_rejects_decreases() {
+        let mut r = MetricsRegistry::new();
+        r.counter_set("d", &[], 9);
+        r.counter_set("d", &[], 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[10, 20]);
+        for v in [5, 10, 11, 20, 21] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 67);
+    }
+
+    #[test]
+    fn sample_flattens_in_key_order() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("z", &[], 1.5);
+        r.counter_add("a", &[], 4);
+        r.observe("h", &[], &[10], 3);
+        let point = r.sample(99);
+        assert_eq!(point.t, 99);
+        let keys: Vec<&str> = point.metrics.iter().map(|m| m.k.as_str()).collect();
+        assert_eq!(keys, ["a", "h_count", "h_sum", "z"]);
+        assert_eq!(r.series().len(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_types() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("events", &[("kind", "a")], 1);
+        r.counter_add("events", &[("kind", "b")], 2);
+        r.observe("lat", &[], &[10, 20], 15);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE events counter\n"));
+        assert!(text.contains("events{kind=\"a\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"20\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_sum 15\n"));
+        assert_eq!(text.matches("# TYPE events").count(), 1);
+    }
+}

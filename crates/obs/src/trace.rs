@@ -1,0 +1,199 @@
+//! Task lifecycle spans reconstructed from the observer stream.
+//!
+//! A span is the full story of one task — arrival, mapping, start,
+//! terminal fate — assembled incrementally from the same
+//! [`SimEvent`](taskdrop_sim::SimEvent)s every other observer sees, and
+//! emitted as one structured record when the terminal event arrives.
+
+use crate::telemetry::fate_str;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use taskdrop_pmf::Tick;
+use taskdrop_sim::SimEvent;
+
+/// A point on a task's lifecycle: when, and on which machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanPoint {
+    /// Virtual time of the transition.
+    pub t: Tick,
+    /// The machine involved (raw [`MachineId`](taskdrop_model::MachineId)).
+    pub machine: u16,
+}
+
+/// One task's complete lifecycle, from arrival to terminal fate.
+///
+/// `mapped`/`started` stay `None` for tasks that never reached that stage
+/// (dropped from the batch queue) *or* whose earlier stages predate the
+/// observer (attached mid-flight, or a restore that replays only the
+/// tail of a trial).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    /// Raw task id.
+    pub task: u64,
+    /// Raw task type id (PET matrix row).
+    pub type_id: u16,
+    /// Arrival tick.
+    pub arrival: Tick,
+    /// Hard deadline tick.
+    pub deadline: Tick,
+    /// Mapping transition, if observed.
+    pub mapped: Option<SpanPoint>,
+    /// Execution start, if observed.
+    pub started: Option<SpanPoint>,
+    /// Whether the task was degraded to its approximate variant.
+    pub degraded: bool,
+    /// Virtual time of the terminal event.
+    pub end: Tick,
+    /// Terminal fate, as the stable [`fate_str`] label.
+    pub outcome: String,
+}
+
+impl TaskSpan {
+    /// Ticks from arrival to the terminal event.
+    #[must_use]
+    pub fn turnaround(&self) -> Tick {
+        self.end.saturating_sub(self.arrival)
+    }
+}
+
+/// Assembles [`TaskSpan`]s from an event stream.
+///
+/// Tasks whose [`Arrived`](SimEvent::Arrived) event predates the tracker
+/// are unknown to it; their later events are ignored rather than invented
+/// — a tracker only reports lifecycles it witnessed from the start.
+#[derive(Debug, Default)]
+pub struct SpanTracker {
+    open: BTreeMap<u64, TaskSpan>,
+}
+
+impl SpanTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanTracker::default()
+    }
+
+    /// Lifecycles currently in flight (arrived, no terminal event yet).
+    #[must_use]
+    pub fn open(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feeds one event; returns the finished span if `ev` was terminal
+    /// for a task this tracker saw arrive.
+    pub fn on_event(&mut self, ev: &SimEvent) -> Option<TaskSpan> {
+        if let Some((task, fate)) = ev.resolved() {
+            let end = match *ev {
+                SimEvent::Completed { now, .. }
+                | SimEvent::Killed { now, .. }
+                | SimEvent::Dropped { now, .. }
+                | SimEvent::MachineFailed { now, .. } => now,
+                _ => unreachable!("resolved() only matches terminal events"),
+            };
+            let mut span = self.open.remove(&task.0)?;
+            span.end = end;
+            span.outcome = fate_str(fate).to_string();
+            return Some(span);
+        }
+        match *ev {
+            SimEvent::Arrived { task } => {
+                self.open.insert(
+                    task.id.0,
+                    TaskSpan {
+                        task: task.id.0,
+                        type_id: task.type_id.0,
+                        arrival: task.arrival,
+                        deadline: task.deadline,
+                        mapped: None,
+                        started: None,
+                        degraded: false,
+                        end: 0,
+                        outcome: String::new(),
+                    },
+                );
+            }
+            SimEvent::Mapped { task, machine, now } => {
+                if let Some(span) = self.open.get_mut(&task.0) {
+                    span.mapped = Some(SpanPoint { t: now, machine: machine.0 });
+                }
+            }
+            SimEvent::Started { task, machine, now, degraded } => {
+                if let Some(span) = self.open.get_mut(&task.0) {
+                    span.started = Some(SpanPoint { t: now, machine: machine.0 });
+                    span.degraded = degraded;
+                }
+            }
+            SimEvent::Degraded { task, .. } => {
+                if let Some(span) = self.open.get_mut(&task.0) {
+                    span.degraded = true;
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskdrop_model::{MachineId, Task, TaskId, TaskTypeId};
+
+    #[test]
+    fn span_assembles_full_lifecycle() {
+        let mut tracker = SpanTracker::new();
+        let task = Task::new(TaskId(7), TaskTypeId(2), 10, 100);
+        assert!(tracker.on_event(&SimEvent::Arrived { task }).is_none());
+        assert_eq!(tracker.open(), 1);
+        tracker.on_event(&SimEvent::Mapped { task: TaskId(7), machine: MachineId(1), now: 12 });
+        tracker.on_event(&SimEvent::Started {
+            task: TaskId(7),
+            machine: MachineId(1),
+            now: 15,
+            degraded: false,
+        });
+        let span = tracker
+            .on_event(&SimEvent::Completed {
+                task: TaskId(7),
+                machine: MachineId(1),
+                now: 42,
+                on_time: true,
+                degraded: false,
+            })
+            .expect("terminal event finishes the span");
+        assert_eq!(tracker.open(), 0);
+        assert_eq!(span.mapped, Some(SpanPoint { t: 12, machine: 1 }));
+        assert_eq!(span.started, Some(SpanPoint { t: 15, machine: 1 }));
+        assert_eq!(span.outcome, "on_time");
+        assert_eq!(span.turnaround(), 32);
+    }
+
+    #[test]
+    fn unseen_tasks_are_ignored_not_invented() {
+        let mut tracker = SpanTracker::new();
+        // Terminal event for a task whose arrival predates the tracker.
+        let finished =
+            tracker.on_event(&SimEvent::Killed { task: TaskId(3), machine: MachineId(0), now: 50 });
+        assert!(finished.is_none());
+        assert_eq!(tracker.open(), 0);
+    }
+
+    #[test]
+    fn degraded_queue_decision_marks_the_span() {
+        let mut tracker = SpanTracker::new();
+        let task = Task::new(TaskId(1), TaskTypeId(0), 0, 60);
+        tracker.on_event(&SimEvent::Arrived { task });
+        tracker.on_event(&SimEvent::Degraded { task: TaskId(1), machine: MachineId(0), now: 5 });
+        let span = tracker
+            .on_event(&SimEvent::Completed {
+                task: TaskId(1),
+                machine: MachineId(0),
+                now: 30,
+                on_time: true,
+                degraded: true,
+            })
+            .expect("terminal");
+        assert!(span.degraded);
+        assert_eq!(span.outcome, "on_time_approx");
+    }
+}

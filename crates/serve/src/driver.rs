@@ -2,6 +2,7 @@
 
 use crate::shard::Shard;
 use crate::ServeError;
+use taskdrop_obs::{EpochRecord, Telemetry};
 use taskdrop_pmf::Tick;
 
 /// Multiplexes independent [`Shard`]s — one per tenant or cluster —
@@ -34,6 +35,10 @@ pub struct ServiceDriver<'a> {
     /// automatically; a driver that checkpoints only manually must sweep
     /// ([`ServiceDriver::checkpoint_all`]) at its own cadence to trim it.
     epoch_log: Vec<Tick>,
+    /// Telemetry pipeline for epoch records, checkpoint cost, and
+    /// kill/restore records. `None` (the default) is the zero-cost
+    /// disabled path: no records, no serialization, no allocation.
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for ServiceDriver<'_> {
@@ -45,6 +50,7 @@ impl std::fmt::Debug for ServiceDriver<'_> {
             .field("next_checkpoint", &self.next_checkpoint)
             .field("has_checkpoint", &self.has_checkpoint)
             .field("epoch_log_len", &self.epoch_log.len())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -60,6 +66,7 @@ impl<'a> ServiceDriver<'a> {
             next_checkpoint: 0,
             has_checkpoint: false,
             epoch_log: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -74,6 +81,18 @@ impl<'a> ServiceDriver<'a> {
         assert!(interval > 0, "checkpoint interval must be positive");
         self.checkpoint_every = Some(interval);
         self.next_checkpoint = self.clock + interval;
+        self
+    }
+
+    /// Wires a [`Telemetry`] pipeline into the driver's own lifecycle:
+    /// one `epoch` record (with per-shard backlog and admission totals)
+    /// and a time-series sample per [`ServiceDriver::advance`], a
+    /// `checkpoint` record with the serialized byte cost per shard per
+    /// sweep, and a `kill_restore` record per revival. Per-shard event
+    /// counters are separate — see [`Shard::attach_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(telemetry.clone());
         self
     }
 
@@ -124,6 +143,14 @@ impl<'a> ServiceDriver<'a> {
         for shard in &mut self.shards {
             shard.advance_to(until)?;
         }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_epoch(&EpochRecord {
+                record: "epoch".to_string(),
+                from: self.clock,
+                to: until,
+                shards: self.shards.iter().map(Shard::epoch_snapshot).collect(),
+            });
+        }
         self.clock = until;
         if self.has_checkpoint {
             self.epoch_log.push(until);
@@ -145,7 +172,16 @@ impl<'a> ServiceDriver<'a> {
     pub fn checkpoint_all(&mut self) {
         let clock = self.clock;
         for shard in &mut self.shards {
-            shard.take_checkpoint(clock);
+            let checkpoint = shard.take_checkpoint(clock);
+            // Measuring checkpoint cost means serializing it — only paid
+            // when telemetry is wired in, so the disabled path is free.
+            let bytes = self
+                .telemetry
+                .as_ref()
+                .map(|_| serde_json::to_string(checkpoint).map_or(0, |json| json.len() as u64));
+            if let (Some(telemetry), Some(bytes)) = (&self.telemetry, bytes) {
+                telemetry.record_checkpoint(shard.name(), clock, bytes);
+            }
         }
         self.has_checkpoint = true;
         self.epoch_log.retain(|&t| t > clock);
@@ -172,6 +208,10 @@ impl<'a> ServiceDriver<'a> {
         let revived_at = shard.restore_last()?;
         for &boundary in self.epoch_log.iter().filter(|&&t| t > revived_at) {
             shard.advance_to(boundary)?;
+        }
+        if let Some(telemetry) = &self.telemetry {
+            let post_mortem = shard.post_mortem().map_or(0, |snap| snap.events.len() as u64);
+            telemetry.record_kill_restore(shard.name(), revived_at, self.clock, post_mortem);
         }
         Ok(revived_at)
     }

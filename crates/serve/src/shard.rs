@@ -4,6 +4,7 @@
 use crate::admission::{AdmissionController, BackpressurePolicy, QueueTails};
 use serde::{Deserialize, Serialize};
 use taskdrop_core::DropPolicy;
+use taskdrop_obs::{FlightRecorder, FlightSnapshot, ShardEpoch, Telemetry};
 use taskdrop_pmf::Tick;
 use taskdrop_sched::MappingHeuristic;
 use taskdrop_sim::{Checkpoint, SimConfig, SimCore, SimError, SimObserver, StepOutcome};
@@ -24,6 +25,11 @@ pub struct ShardCheckpoint {
     pub source: TrafficSource,
     /// The admission controller (policy, queued offers, accounting).
     pub admission: AdmissionController,
+    /// The flight recorder's contents at checkpoint time, if one was
+    /// attached (absent in checkpoints from older builds — `default`
+    /// keeps them loading).
+    #[serde(default)]
+    pub flight: Option<FlightSnapshot>,
 }
 
 /// One independent tenant/cluster in a [`ServiceDriver`]: an open-world
@@ -43,6 +49,15 @@ pub struct Shard<'a> {
     source: TrafficSource,
     admission: AdmissionController,
     last_checkpoint: Option<ShardCheckpoint>,
+    /// Bounded ring of recent engine events; checkpointed and revived
+    /// with the shard ([`Shard::enable_flight_recorder`]).
+    flight: Option<FlightRecorder>,
+    /// The pre-kill flight-recorder contents, kept across the most
+    /// recent [`Shard::restore_from`] as the crash post-mortem.
+    post_mortem: Option<FlightSnapshot>,
+    /// Telemetry pipeline to re-attach after restores
+    /// ([`Shard::attach_telemetry`]).
+    telemetry: Option<Telemetry>,
 }
 
 impl<'a> Shard<'a> {
@@ -72,6 +87,9 @@ impl<'a> Shard<'a> {
             source,
             admission,
             last_checkpoint: None,
+            flight: None,
+            post_mortem: None,
+            telemetry: None,
         })
     }
 
@@ -110,6 +128,68 @@ impl<'a> Shard<'a> {
     /// part of checkpoints — re-attach after a restore.
     pub fn attach(&mut self, observer: impl SimObserver + 'a) {
         self.core.attach(observer);
+    }
+
+    /// Attaches a bounded [`FlightRecorder`] of the most recent `capacity`
+    /// engine events and returns a handle to it. Unlike plain observers
+    /// the recorder is managed: its contents ride in every
+    /// [`ShardCheckpoint`], and [`Shard::restore_from`] revives it to the
+    /// checkpointed contents (keeping the pre-kill buffer aside as
+    /// [`Shard::post_mortem`]) so a deterministic replay reproduces the
+    /// undisturbed buffer exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached, or `capacity` is zero.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) -> FlightRecorder {
+        assert!(self.flight.is_none(), "shard {} already has a flight recorder", self.name);
+        let recorder = FlightRecorder::new(capacity);
+        self.core.attach(recorder.clone());
+        self.flight = Some(recorder.clone());
+        recorder
+    }
+
+    /// The attached flight recorder, if any.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// The flight-recorder contents captured from the timeline the most
+    /// recent [`Shard::restore_from`] destroyed — the crash post-mortem.
+    #[must_use]
+    pub fn post_mortem(&self) -> Option<&FlightSnapshot> {
+        self.post_mortem.as_ref()
+    }
+
+    /// Wires a [`Telemetry`] pipeline into the core under this shard's
+    /// name as scope (counters, spans, histograms — no rollup, since a
+    /// restore's catch-up replay re-counts events at-least-once, which an
+    /// exactly-once fate rollup cannot tolerate). Managed like the flight
+    /// recorder: re-attached automatically after every restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if telemetry is already attached.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        assert!(self.telemetry.is_none(), "shard {} already has telemetry", self.name);
+        telemetry.attach_counters(&mut self.core, &self.name);
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Cumulative serving numbers for telemetry epoch records.
+    #[must_use]
+    pub fn epoch_snapshot(&self) -> ShardEpoch {
+        let stats = self.admission.stats();
+        ShardEpoch {
+            shard: self.name.clone(),
+            backlog: self.admission.queued() as u64,
+            offered: stats.offered,
+            admitted: stats.admitted,
+            turned_away: stats.turned_away(),
+            total_tasks: self.core.total_tasks() as u64,
+            resolved_tasks: self.core.resolved_tasks() as u64,
+        }
     }
 
     /// Advances the shard's slice of virtual time to `until`: offers every
@@ -153,6 +233,7 @@ impl<'a> Shard<'a> {
             core: self.core.snapshot(),
             source: self.source.clone(),
             admission: self.admission.clone(),
+            flight: self.flight.as_ref().map(FlightRecorder::snapshot),
         };
         self.last_checkpoint = Some(cp);
         self.last_checkpoint.as_ref().expect("just stored")
@@ -160,10 +241,13 @@ impl<'a> Shard<'a> {
 
     /// Discards the live state and rebuilds the shard from `checkpoint`
     /// (scenario and policies are the shard's own borrows — the checkpoint
-    /// must match them). Attached observers are dropped, and `checkpoint`
-    /// becomes the shard's restore point: the previous `last_checkpoint`
-    /// belonged to the timeline just discarded, so a later
-    /// [`Shard::restore_last`] must not revive it.
+    /// must match them). Plain observers ([`Shard::attach`]) are dropped;
+    /// the *managed* ones are revived: a flight recorder is reset to the
+    /// checkpointed contents (the pre-kill buffer surviving as
+    /// [`Shard::post_mortem`]) and telemetry counters are re-attached.
+    /// `checkpoint` becomes the shard's restore point: the previous
+    /// `last_checkpoint` belonged to the timeline just discarded, so a
+    /// later [`Shard::restore_last`] must not revive it.
     ///
     /// # Errors
     ///
@@ -174,6 +258,27 @@ impl<'a> Shard<'a> {
         self.source = checkpoint.source.clone();
         self.admission = checkpoint.admission.clone();
         self.last_checkpoint = Some(checkpoint.clone());
+        if let Some(recorder) = &self.flight {
+            self.post_mortem = Some(recorder.snapshot());
+        }
+        // Revive the recorder from the checkpoint: a shard that had one
+        // keeps it (reset or cleared), and a checkpoint that carries one
+        // recreates it on a fresh shard, so revival elsewhere is faithful.
+        if self.flight.is_none() {
+            if let Some(snapshot) = &checkpoint.flight {
+                self.flight = Some(FlightRecorder::new(snapshot.capacity.max(1)));
+            }
+        }
+        if let Some(recorder) = &self.flight {
+            match &checkpoint.flight {
+                Some(snapshot) => recorder.restore(snapshot),
+                None => recorder.clear(),
+            }
+            self.core.attach(recorder.clone());
+        }
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.attach_counters(&mut self.core, &self.name);
+        }
         Ok(())
     }
 

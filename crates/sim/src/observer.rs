@@ -15,12 +15,13 @@
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{TaskFate, TrialResult};
+use serde::{Deserialize, Serialize};
 use taskdrop_model::{MachineId, Task, TaskId, TaskTypeId};
 use taskdrop_pmf::Tick;
 use taskdrop_workload::Scenario;
 
 /// Why a task was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropKind {
     /// The engine's reactive rule: the deadline had already passed while the
     /// task waited (batch queue, machine queue, or at the head of the queue
@@ -34,7 +35,7 @@ pub enum DropKind {
 /// Which backpressure rule turned an offered task away at admission (the
 /// serving layer in front of [`SimCore`](crate::SimCore); see
 /// [`SimEvent::AdmissionDropped`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdmissionDropKind {
     /// The bounded ingress queue was full and the policy rejects new work.
     RejectedFull,
@@ -56,7 +57,7 @@ pub enum AdmissionDropKind {
 /// reached the core (see [`SimEvent::CascadeForfeited`]). Forfeiture is the
 /// graph counterpart of a drop: the node itself was still viable, but the
 /// work it depends on (or the subtree it anchors) is not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ForfeitKind {
     /// A predecessor was dropped, killed, or lost, so this node's inputs
     /// will never exist.
@@ -75,7 +76,7 @@ pub enum ForfeitKind {
 /// [`SimEvent::Completed`], [`SimEvent::Killed`], [`SimEvent::Dropped`], or
 /// [`SimEvent::MachineFailed`] with `lost = Some(id)`. All other events are
 /// lifecycle notifications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum SimEvent {
     /// A task entered the batch queue (its arrival tick is `task.arrival`).

@@ -212,6 +212,10 @@ fn main() {
     }
     let bursty_stats = driver.shards()[0].admission().stats();
     assert!(bursty_stats.pre_dropped > 0, "the bursty shard must exercise backpressure pre-drops");
+    println!("\nper-shard evaluator cache performance:");
+    for shard in driver.shards() {
+        println!("  {:<12} {}", shard.name(), shard.core().cache_stats());
+    }
     println!(
         "\nEvery refusal above happened *before* injection — the paper's completion-PMF\n\
          threshold applied at the front door — while the in-core dropper kept pruning\n\

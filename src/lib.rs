@@ -26,6 +26,10 @@
 //!   with pluggable backpressure, multi-shard driving on a shared virtual
 //!   clock, and serializable shard checkpoints with mid-flight
 //!   kill/restore.
+//! * [`obs`] — deterministic virtual-clock telemetry: the
+//!   [`Telemetry`](taskdrop_obs::Telemetry) pipeline (metrics registry,
+//!   task lifecycle spans, bounded flight recorder, JSONL / Prometheus
+//!   exporters) attachable to any layer's observer stream.
 //! * [`dag`] — dependency-aware execution on top of the open-world core:
 //!   validated [`TaskGraph`](taskdrop_dag::TaskGraph)s, the
 //!   [`DagCoordinator`](taskdrop_dag::DagCoordinator) releasing nodes as
@@ -48,6 +52,7 @@ pub mod service;
 pub use taskdrop_core as core;
 pub use taskdrop_dag as dag;
 pub use taskdrop_model as model;
+pub use taskdrop_obs as obs;
 pub use taskdrop_pmf as pmf;
 pub use taskdrop_sched as sched;
 pub use taskdrop_serve as serve;
@@ -131,6 +136,9 @@ pub mod prelude {
     };
     pub use taskdrop_model::ApproxSpec;
     pub use taskdrop_model::{MachineId, MachineTypeId, PetMatrix, Task, TaskId, TaskTypeId};
+    pub use taskdrop_obs::{
+        FlightRecorder, FlightSnapshot, MetricsRegistry, SpanTracker, TaskSpan, Telemetry,
+    };
     pub use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
     pub use taskdrop_sched::{Edf, Fcfs, HeuristicKind, MappingHeuristic, MinMin, Msd, Pam, Sjf};
     pub use taskdrop_serve::{

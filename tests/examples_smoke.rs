@@ -20,6 +20,7 @@ const EXAMPLES: &[&str] = &[
     "oversubscription_sweep",
     "quickstart",
     "service_loop",
+    "telemetry",
     "video_transcoding",
 ];
 
