@@ -386,6 +386,7 @@ impl DagCoordinator {
                 TaskFate::Late => self.stats.late += 1,
                 TaskFate::DroppedReactive | TaskFate::DroppedProactive => self.stats.dropped += 1,
                 TaskFate::LostToFailure => self.stats.lost += 1,
+                // lint:allow(panic-macro): Forfeited is assigned by this coordinator, never by engine resolution; reaching here means the fate plumbing broke and must stop loudly
                 TaskFate::Forfeited => unreachable!("the engine never assigns Forfeited"),
             }
             if produced_output {

@@ -43,19 +43,25 @@ pub struct Finding {
     pub message: String,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Enclosing item path (`serve::Shard::advance_to`), when the finding
+    /// sits inside a segmented item.
+    pub item: Option<String>,
 }
 
 impl Finding {
-    /// `severity[rule]: path:line:col — message` plus the excerpt line.
+    /// `severity[rule]: path:line:col (in item) — message` plus the
+    /// excerpt line.
     #[must_use]
     pub fn render(&self) -> String {
+        let item = self.item.as_ref().map(|i| format!(" (in {i})")).unwrap_or_default();
         format!(
-            "{}[{}]: {}:{}:{} — {}\n    | {}",
+            "{}[{}]: {}:{}:{}{} — {}\n    | {}",
             self.severity.as_str(),
             self.rule,
             self.path,
             self.line,
             self.col,
+            item,
             self.message,
             self.excerpt
         )
@@ -80,6 +86,8 @@ pub struct FindingJson {
     pub message: String,
     /// Offending line, trimmed.
     pub excerpt: String,
+    /// Enclosing item path, when known.
+    pub item: Option<String>,
 }
 
 impl From<&Finding> for FindingJson {
@@ -92,6 +100,7 @@ impl From<&Finding> for FindingJson {
             col: f.col,
             message: f.message.clone(),
             excerpt: f.excerpt.clone(),
+            item: f.item.clone(),
         }
     }
 }

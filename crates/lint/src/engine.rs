@@ -1,12 +1,17 @@
 //! The rule engine: classify files, apply rules in scope, honour pragmas,
-//! collect ratchet counts.
+//! collect per-crate ratchet counts, and run the workspace-level passes
+//! (crate layering, checkpoint-schema fingerprints).
 
 use std::path::{Path, PathBuf};
 
 use crate::diag::{Finding, Severity};
+use crate::items::{segment, ItemIndex};
+use crate::layering::{self, LayeringSpec};
 use crate::lexer::{scan, Scanned};
 use crate::ratchet::{Ratchet, RatchetStatus};
 use crate::rules::{match_all, rule, Scope, RULES};
+use crate::schema::{self, SchemaSnapshot};
+use crate::ttree::TokenTree;
 
 /// Which target a file belongs to, inferred from its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +76,6 @@ impl Scope {
             Scope::NonBench => class.krate != "bench",
             Scope::Everywhere => true,
             Scope::ConcurrencyCore => CONCURRENCY_CORE.contains(&class.krate.as_str()),
-            Scope::ServeOnly => class.krate == "serve",
         }
     }
 }
@@ -86,58 +90,6 @@ struct Pragma {
     /// Line the comment itself sits on (for unused-pragma diagnostics).
     comment_line: usize,
     used: bool,
-}
-
-/// 1-based inclusive line ranges of `#[cfg(test)]` items.
-fn test_spans(scanned: &Scanned) -> Vec<(usize, usize)> {
-    let masked = &scanned.masked;
-    let bytes = masked.as_bytes();
-    let mut spans = Vec::new();
-    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
-        for (start, _) in masked.match_indices(pat) {
-            // Walk forward to the item body: first `{` opens it, a `;`
-            // before any `{` ends a braceless item (e.g. `mod tests;`).
-            let mut i = start + pat.len();
-            let mut open = None;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'{' => {
-                        open = Some(i);
-                        break;
-                    }
-                    b';' => break,
-                    _ => i += 1,
-                }
-            }
-            let (sl, _) = scanned.line_col(start);
-            let Some(open) = open else {
-                spans.push((sl, scanned.line_col(i.min(bytes.len() - 1)).0));
-                continue;
-            };
-            let mut depth = 0usize;
-            let mut j = open;
-            while j < bytes.len() {
-                match bytes[j] {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-            spans.push((sl, scanned.line_col(j.min(bytes.len() - 1)).0));
-        }
-    }
-    spans.sort_unstable();
-    spans
-}
-
-fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
-    spans.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
 /// Parse pragmas out of the scanned comments. Malformed pragmas become
@@ -164,6 +116,7 @@ fn parse_pragmas(
                 col: 1,
                 message,
                 excerpt: excerpt.clone(),
+                item: None,
             });
         };
         // Expect `(<rule>): <non-empty reason>`.
@@ -211,12 +164,40 @@ fn parse_pragmas(
     pragmas
 }
 
+/// Module segments of a file within its crate: `crates/serve/src/shard.rs`
+/// → `["shard"]`, `src/a/b.rs` → `["a", "b"]`; `lib.rs`/`main.rs`/`mod.rs`
+/// contribute nothing.
+fn module_segments(rel: &str) -> Vec<&str> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let after_section = if parts.first() == Some(&"crates") { 3 } else { 1 };
+    let mut segs = Vec::new();
+    for (i, part) in parts.iter().enumerate().skip(after_section) {
+        let is_last = i == parts.len() - 1;
+        let seg = if is_last { part.strip_suffix(".rs").unwrap_or(part) } else { part };
+        if is_last && matches!(seg, "lib" | "main" | "mod") {
+            continue;
+        }
+        segs.push(seg);
+    }
+    segs
+}
+
+/// `crate::module::item` path for a finding at `offset`, when the offset
+/// sits inside a segmented item.
+fn item_path_at(class: &FileClass, rel: &str, items: &ItemIndex, offset: usize) -> Option<String> {
+    let item = items.path_at(offset)?;
+    let mut segs: Vec<&str> = vec![class.krate.as_str()];
+    segs.extend(module_segments(rel));
+    segs.push(item);
+    Some(segs.join("::"))
+}
+
 /// The outcome of linting one file.
 #[derive(Debug)]
 pub struct FileReport {
     /// Error/Warn findings, in source order.
     pub findings: Vec<Finding>,
-    /// Ratchet-rule findings (counted, not individually fatal).
+    /// Ratchet-rule findings (counted per crate, not individually fatal).
     pub ratchet_sites: Vec<Finding>,
 }
 
@@ -224,17 +205,32 @@ pub struct FileReport {
 /// relative, `/`-separated). This is the unit the fixture tests drive.
 #[must_use]
 pub fn check_source(rel_path: &str, src: &str) -> FileReport {
+    check_source_in(rel_path, src, None)
+}
+
+/// [`check_source`] with an optional layering spec: when present, source
+/// edges (`use taskdrop_*`) are checked against the DAG too.
+#[must_use]
+pub fn check_source_in(
+    rel_path: &str,
+    src: &str,
+    layering_spec: Option<&LayeringSpec>,
+) -> FileReport {
     let mut findings = Vec::new();
     let mut ratchet_sites = Vec::new();
     let Some(class) = classify(rel_path) else {
         return FileReport { findings, ratchet_sites };
     };
     let scanned = scan(src);
+    let tree = TokenTree::build(&scanned.masked);
+    let items = segment(&scanned, &tree);
     let src_lines: Vec<&str> = src.lines().collect();
-    let spans = test_spans(&scanned);
     let mut pragmas = parse_pragmas(rel_path, &scanned, &src_lines, &mut findings);
 
     let mut hits = match_all(&scanned.masked);
+    if let Some(spec) = layering_spec {
+        hits.extend(layering::source_hits(&scanned.masked, &class.krate, spec));
+    }
     hits.sort_by_key(|h| (h.offset, h.rule));
     let mut seen: Vec<(&'static str, usize)> = Vec::new();
     for hit in hits {
@@ -242,9 +238,15 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
         if !meta.scope.covers(&class) {
             continue;
         }
+        // `macro_rules!` definition bodies are token soup, not code: the
+        // tokens only become code at expansion sites, which is where any
+        // finding belongs.
+        if items.in_macro_def(hit.offset) {
+            continue;
+        }
         let (line, col) = scanned.line_col(hit.offset);
-        let in_test_code =
-            matches!(class.section, Section::Tests | Section::Benches) || in_spans(&spans, line);
+        let in_test_code = matches!(class.section, Section::Tests | Section::Benches)
+            || items.in_cfg_test(hit.offset);
         if !meta.in_tests && in_test_code {
             continue;
         }
@@ -269,6 +271,7 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
             col,
             message: hit.message,
             excerpt: src_lines.get(line - 1).map_or(String::new(), |l| l.trim().to_string()),
+            item: item_path_at(&class, rel_path, &items, hit.offset),
         };
         if meta.severity == Severity::Ratchet {
             ratchet_sites.push(finding);
@@ -291,6 +294,7 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
             excerpt: src_lines
                 .get(p.comment_line - 1)
                 .map_or(String::new(), |l| l.trim().to_string()),
+            item: None,
         });
     }
 
@@ -303,10 +307,15 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
 pub struct Report {
     /// Error/Warn findings across all files, in path order.
     pub findings: Vec<Finding>,
-    /// Per-ratchet-rule status against the committed baseline.
+    /// Per-(rule, crate) ratchet status against the committed baseline.
     pub ratchets: Vec<RatchetStatus>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Current checkpoint-schema snapshot (`None` when the tree has no
+    /// checkpoint root types — synthetic test trees).
+    pub schema_current: Option<SchemaSnapshot>,
+    /// Committed snapshot from `crates/lint/schema.json`, if present.
+    pub schema_committed: Option<SchemaSnapshot>,
 }
 
 impl Report {
@@ -342,10 +351,13 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Lint the whole workspace under `root`, comparing ratchet counts against
-/// `baseline` (as loaded from `crates/lint/ratchet.json`).
+/// `baseline` (as loaded from `crates/lint/ratchet.json`). Workspace-level
+/// passes — crate layering and checkpoint-schema fingerprints — run when
+/// their committed inputs exist (`crates/lint/layering.json`; the schema
+/// pass runs whenever a checkpoint root type is present in the tree).
 ///
 /// # Errors
-/// Propagates I/O failures reading the tree.
+/// Propagates I/O failures reading the tree or malformed committed files.
 pub fn run_workspace(root: &Path, baseline: &Ratchet) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for sub in SCAN_ROOTS {
@@ -356,8 +368,13 @@ pub fn run_workspace(root: &Path, baseline: &Ratchet) -> std::io::Result<Report>
     }
     files.sort();
 
+    let lint_dir = root.join("crates").join("lint");
+    let layering_spec = LayeringSpec::load(&lint_dir.join("layering.json"))?;
+
     let mut findings = Vec::new();
     let mut ratchet_sites: Vec<Finding> = Vec::new();
+    let mut type_defs: Vec<schema::TypeDef> = Vec::new();
+    let mut versions: Vec<u32> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -366,28 +383,92 @@ pub fn run_workspace(root: &Path, baseline: &Ratchet) -> std::io::Result<Report>
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        if classify(&rel).is_none() {
+        let Some(class) = classify(&rel) else {
             continue;
-        }
+        };
         let src = std::fs::read_to_string(path)?;
-        let mut report = check_source(&rel, &src);
+        let mut report = check_source_in(&rel, &src, layering_spec.as_ref());
         findings.append(&mut report.findings);
         ratchet_sites.append(&mut report.ratchet_sites);
+
+        // Schema inventory: production sources only — test helpers must
+        // not widen the checkpoint fingerprint.
+        if class.section == Section::Src {
+            let scanned = scan(&src);
+            let tree = TokenTree::build(&scanned.masked);
+            let items = segment(&scanned, &tree);
+            let (mut defs, version) = schema::collect(&rel, &class.krate, &scanned, &tree, &items);
+            type_defs.append(&mut defs);
+            if let Some(v) = version {
+                versions.push(v);
+            }
+        }
     }
 
-    let mut ratchets = Vec::new();
-    for meta in RULES.iter().filter(|r| r.severity == Severity::Ratchet) {
-        let sites: Vec<Finding> =
-            ratchet_sites.iter().filter(|f| f.rule == meta.id).cloned().collect();
-        ratchets.push(RatchetStatus {
-            rule: meta.id,
-            count: sites.len(),
-            baseline: baseline.get(meta.id),
-            sites,
+    // Workspace-level pass 1: crate layering (manifest edges + coverage).
+    if let Some(spec) = &layering_spec {
+        let edges = layering::manifest_edges(root)?;
+        let members = layering::member_crates(root)?;
+        findings.extend(layering::check_manifests(spec, &edges, &members));
+    }
+
+    // Workspace-level pass 2: checkpoint-schema fingerprints.
+    versions.sort_unstable();
+    versions.dedup();
+    if versions.len() > 1 {
+        findings.push(Finding {
+            rule: "schema-drift",
+            severity: Severity::Error,
+            path: schema::SCHEMA_PATH.to_string(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "conflicting CHECKPOINT_VERSION consts found ({versions:?}); \
+                 exactly one crate must own the version"
+            ),
+            excerpt: String::new(),
+            item: None,
         });
     }
+    let version_found = !versions.is_empty();
+    let schema_current = schema::snapshot(&type_defs, versions.first().copied().unwrap_or(0));
+    let schema_committed = SchemaSnapshot::load(&lint_dir.join("schema.json"))?;
+    if let Some(current) = &schema_current {
+        findings.extend(schema::compare(schema_committed.as_ref(), current, version_found));
+    }
 
-    Ok(Report { findings, ratchets, files_scanned: files.len() })
+    // Per-(rule, crate) ratchet aggregation. Keys are the union of crates
+    // with sites this run and crates with a committed baseline, so both
+    // regressions and improvements surface.
+    let mut ratchets = Vec::new();
+    for meta in RULES.iter().filter(|r| r.severity == Severity::Ratchet) {
+        let mut krates: Vec<String> = ratchet_sites
+            .iter()
+            .filter(|f| f.rule == meta.id)
+            .filter_map(|f| classify(&f.path).map(|c| c.krate))
+            .collect();
+        krates.extend(baseline.crates_for(meta.id).iter().map(|k| (*k).to_string()));
+        krates.sort();
+        krates.dedup();
+        for krate in krates {
+            let sites: Vec<Finding> = ratchet_sites
+                .iter()
+                .filter(|f| {
+                    f.rule == meta.id && classify(&f.path).is_some_and(|c| c.krate == krate)
+                })
+                .cloned()
+                .collect();
+            ratchets.push(RatchetStatus {
+                rule: meta.id,
+                count: sites.len(),
+                baseline: baseline.get(meta.id, &krate),
+                krate,
+                sites,
+            });
+        }
+    }
+
+    Ok(Report { findings, ratchets, files_scanned: files.len(), schema_current, schema_committed })
 }
 
 #[cfg(test)]
@@ -428,7 +509,7 @@ mod tests {
         assert!(Scope::ConcurrencyCore.covers(&pmf));
         assert!(Scope::ConcurrencyCore.covers(&dag));
         assert!(!Scope::ConcurrencyCore.covers(&serve));
-        assert!(Scope::ServeOnly.covers(&serve));
+        assert!(Scope::Everywhere.covers(&bench));
     }
 
     /// The scope lists are positive allowlists: a new workspace crate that
@@ -493,6 +574,38 @@ mod tests {
         let r = check_source("crates/sim/src/x.rs", &src);
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn findings_carry_the_enclosing_item_path() {
+        let src = "mod inner {\n\
+                       pub struct W;\n\
+                       impl W {\n\
+                           pub fn tick(&self) { let _ = Instant::now(); }\n\
+                       }\n\
+                   }\n";
+        let r = check_source("crates/sim/src/clock.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].item.as_deref(), Some("sim::clock::inner::W::tick"));
+        assert!(r.findings[0].render().contains("(in sim::clock::inner::W::tick)"));
+    }
+
+    #[test]
+    fn lib_rs_contributes_no_module_segment() {
+        let r = check_source("crates/sim/src/lib.rs", "fn f() { let _ = Instant::now(); }\n");
+        assert_eq!(r.findings[0].item.as_deref(), Some("sim::f"));
+    }
+
+    #[test]
+    fn macro_rules_bodies_do_not_fire() {
+        let src = "macro_rules! with_clock {\n\
+                       ($b:block) => {{ let _t = Instant::now(); $b }};\n\
+                   }\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        // The same pattern outside a macro body still fires.
+        let r = check_source("crates/sim/src/x.rs", "fn f() { let _t = Instant::now(); }\n");
+        assert_eq!(r.findings.len(), 1);
     }
 
     #[test]
@@ -566,16 +679,44 @@ mod tests {
     }
 
     #[test]
-    fn ratchet_sites_counted_not_fatal() {
+    fn ratchet_sites_counted_not_fatal_everywhere() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
                    fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n";
         let r = check_source("crates/serve/src/x.rs", src);
         assert!(r.findings.is_empty());
         assert_eq!(r.ratchet_sites.len(), 2);
-        // Outside serve, unwrap is nobody's business.
+        // The panic ratchet is per-crate but applies everywhere now.
         let r = check_source("crates/sim/src/x.rs", src);
         assert!(r.findings.is_empty());
+        assert_eq!(r.ratchet_sites.len(), 2);
+        // Test code is exempt.
+        let r = check_source("crates/sim/tests/t.rs", src);
         assert!(r.ratchet_sites.is_empty());
+    }
+
+    #[test]
+    fn layering_source_edge_fires_through_check_source_in() {
+        let spec = LayeringSpec {
+            layers: ["core", "serve"]
+                .iter()
+                .enumerate()
+                .map(|(i, k)| crate::layering::LayerEntry {
+                    krate: (*k).to_string(),
+                    layer: u32::try_from(i).expect("tiny"),
+                })
+                .collect(),
+        };
+        let src = "use taskdrop_serve::Shard;\nfn f() {}\n";
+        let r = check_source_in("crates/core/src/lib.rs", src, Some(&spec));
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "crate-layering");
+        // Same edge in test code is exempt (dev-dependency equivalence).
+        let r = check_source_in("crates/core/tests/t.rs", src, Some(&spec));
+        assert!(r.findings.is_empty());
+        // A pragma can grant a reviewed exception.
+        let src = "use taskdrop_serve::Shard; // lint:allow(crate-layering): reviewed exception\n";
+        let r = check_source_in("crates/core/src/lib.rs", src, Some(&spec));
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]
@@ -583,5 +724,14 @@ mod tests {
         let src = "//! ```\n//! let m = HashMap::new();\n//! ```\nfn f() {}\n";
         let r = check_source("crates/sim/src/x.rs", src);
         assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn module_segment_extraction() {
+        assert_eq!(module_segments("crates/serve/src/shard.rs"), ["shard"]);
+        assert_eq!(module_segments("crates/sim/src/lib.rs"), Vec::<&str>::new());
+        assert_eq!(module_segments("src/service.rs"), ["service"]);
+        assert_eq!(module_segments("crates/sim/src/exec/queue.rs"), ["exec", "queue"]);
+        assert_eq!(module_segments("tests/smoke.rs"), ["smoke"]);
     }
 }

@@ -1,0 +1,394 @@
+//! Crate-layering enforcement: the declared dependency DAG, checked
+//! against both `Cargo.toml` edges and `use taskdrop_*` source edges.
+//!
+//! The workspace is layered so determinism hazards can't creep downward:
+//! leaf math (`pmf`, `stats`) knows nothing of models, models know nothing
+//! of schedulers, the engine (`sim`) knows nothing of serving, and only
+//! the umbrella + `bench` see everything. The spec lives in
+//! `crates/lint/layering.json` as explicit `{crate, layer}` entries; a
+//! dependency edge `A → B` is legal only when `layer(A) > layer(B)`
+//! *strictly* (same-layer crates are siblings and must not depend on each
+//! other). Dev-dependencies are exempt — test scaffolding may reach
+//! upward (e.g. `model` test-depends on `core`).
+//!
+//! Two enforcement surfaces, because they fail at different times:
+//! manifest edges catch a `Cargo.toml` line before anything is imported,
+//! and source edges (`source_hits`) catch a `use taskdrop_serve::…`
+//! smuggled into an engine crate even if someone also edits the manifest.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diag::{Finding, Severity};
+use crate::rules::RawHit;
+
+/// One `{crate, layer}` assignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerEntry {
+    /// Short crate name (`pmf`, `sim`, `taskdrop` for the umbrella).
+    pub krate: String,
+    /// Layer number; dependencies must point strictly downward.
+    pub layer: u32,
+}
+
+/// The committed layering spec (`crates/lint/layering.json`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LayeringSpec {
+    /// All assignments, sorted by layer then crate for a stable file.
+    pub layers: Vec<LayerEntry>,
+}
+
+impl LayeringSpec {
+    /// Layer of `krate`, if declared.
+    #[must_use]
+    pub fn get(&self, krate: &str) -> Option<u32> {
+        self.layers.iter().find(|e| e.krate == krate).map(|e| e.layer)
+    }
+
+    /// Load from `path`; `Ok(None)` when the file doesn't exist (layering
+    /// enforcement is then skipped — synthetic test trees don't carry a
+    /// spec).
+    ///
+    /// # Errors
+    /// I/O failures other than not-found, and malformed JSON.
+    pub fn load(path: &Path) -> std::io::Result<Option<Self>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text).map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed layering spec {}: {e:?}", path.display()),
+                )
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// One `taskdrop_* = …` dependency line in a member manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEdge {
+    /// Short name of the depending crate.
+    pub from: String,
+    /// Short name of the dependency.
+    pub to: String,
+    /// `true` for `[dev-dependencies]` (exempt from layering).
+    pub dev: bool,
+    /// Workspace-relative manifest path.
+    pub manifest: String,
+    /// 1-based line of the dependency entry.
+    pub line: usize,
+    /// The entry line, trimmed.
+    pub excerpt: String,
+}
+
+fn short_name(full: &str) -> String {
+    full.strip_prefix("taskdrop_").unwrap_or(full).to_string()
+}
+
+/// Parse the `taskdrop_*` dependency edges out of one manifest text.
+fn edges_of(from: &str, manifest: &str, text: &str) -> Vec<ManifestEdge> {
+    let mut edges = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        // Only plain dependency tables count; `[workspace.dependencies]`
+        // is the version catalogue, not an edge.
+        let dev = match section.as_str() {
+            "[dependencies]" | "[build-dependencies]" => false,
+            "[dev-dependencies]" => true,
+            _ => continue,
+        };
+        if !line.starts_with("taskdrop_") {
+            continue;
+        }
+        let dep: String = line
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .map(char::from)
+            .collect();
+        edges.push(ManifestEdge {
+            from: from.to_string(),
+            to: short_name(&dep),
+            dev,
+            manifest: manifest.to_string(),
+            line: idx + 1,
+            excerpt: line.to_string(),
+        });
+    }
+    edges
+}
+
+/// All `taskdrop_*` edges declared by the workspace manifests: the root
+/// `Cargo.toml` (the umbrella crate, `from = "taskdrop"`) plus every
+/// `crates/*/Cargo.toml`.
+///
+/// # Errors
+/// Propagates I/O failures reading manifests.
+pub fn manifest_edges(root: &Path) -> std::io::Result<Vec<ManifestEdge>> {
+    let mut edges = Vec::new();
+    let root_toml = root.join("Cargo.toml");
+    if root_toml.is_file() {
+        let text = std::fs::read_to_string(&root_toml)?;
+        edges.extend(edges_of("taskdrop", "Cargo.toml", &text));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        members.sort();
+        for member in members {
+            let toml = member.join("Cargo.toml");
+            if !toml.is_file() {
+                continue;
+            }
+            let name = member.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            let text = std::fs::read_to_string(&toml)?;
+            edges.extend(edges_of(&name, &format!("crates/{name}/Cargo.toml"), &text));
+        }
+    }
+    Ok(edges)
+}
+
+/// Short names of all `crates/*` members (directories holding a
+/// `Cargo.toml`).
+///
+/// # Errors
+/// Propagates I/O failures listing `crates/`.
+pub fn member_crates(root: &Path) -> std::io::Result<Vec<String>> {
+    let crates_dir = root.join("crates");
+    let mut names = Vec::new();
+    if crates_dir.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        members.sort();
+        for member in members {
+            if member.join("Cargo.toml").is_file() {
+                if let Some(name) = member.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    Ok(names)
+}
+
+const SPEC_PATH: &str = "crates/lint/layering.json";
+
+fn spec_finding(message: String) -> Finding {
+    Finding {
+        rule: "crate-layering",
+        severity: Severity::Error,
+        path: SPEC_PATH.to_string(),
+        line: 1,
+        col: 1,
+        message,
+        excerpt: String::new(),
+        item: None,
+    }
+}
+
+/// Check manifest edges and spec coverage against the declared layering.
+#[must_use]
+pub fn check_manifests(
+    spec: &LayeringSpec,
+    edges: &[ManifestEdge],
+    members: &[String],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Coverage: every member (plus the umbrella) must be assigned a layer,
+    // and every assignment must name a real crate — a stale entry would
+    // silently stop constraining anything.
+    for member in members.iter().map(String::as_str).chain(std::iter::once("taskdrop")) {
+        if spec.get(member).is_none() {
+            findings.push(spec_finding(format!(
+                "crate `{member}` has no layer assignment in {SPEC_PATH}; \
+                 every workspace member must be placed in the layering DAG"
+            )));
+        }
+    }
+    for entry in &spec.layers {
+        if entry.krate != "taskdrop" && !members.contains(&entry.krate) {
+            findings.push(spec_finding(format!(
+                "stale layering entry: `{}` is not a workspace member",
+                entry.krate
+            )));
+        }
+    }
+
+    for edge in edges.iter().filter(|e| !e.dev) {
+        let (Some(from), Some(to)) = (spec.get(&edge.from), spec.get(&edge.to)) else {
+            continue; // missing assignments already reported above
+        };
+        if from <= to {
+            findings.push(Finding {
+                rule: "crate-layering",
+                severity: Severity::Error,
+                path: edge.manifest.clone(),
+                line: edge.line,
+                col: 1,
+                message: format!(
+                    "layering violation: `{}` (layer {from}) depends on \
+                     `{}` (layer {to}); dependencies must point strictly \
+                     downward in the DAG — see DESIGN.md §17",
+                    edge.from, edge.to
+                ),
+                excerpt: edge.excerpt.clone(),
+                item: None,
+            });
+        }
+    }
+
+    findings
+}
+
+/// Source-level edges: every `taskdrop_<crate>` identifier in `masked`
+/// that points at a same-or-higher layer from `self_krate` becomes a raw
+/// hit (flowing through the engine's normal scope/test/pragma pipeline).
+#[must_use]
+pub(crate) fn source_hits(masked: &str, self_krate: &str, spec: &LayeringSpec) -> Vec<RawHit> {
+    let bytes = masked.as_bytes();
+    let mut hits = Vec::new();
+    for (offset, _) in masked.match_indices("taskdrop_") {
+        if offset > 0 && (bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_') {
+            continue; // mid-identifier
+        }
+        let ident: String = masked[offset..]
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .map(char::from)
+            .collect();
+        let target = short_name(&ident);
+        if target == self_krate || target.is_empty() {
+            continue;
+        }
+        let Some(from) = spec.get(self_krate) else {
+            continue; // unassigned crates are reported at the manifest level
+        };
+        let Some(to) = spec.get(&target) else {
+            hits.push(RawHit {
+                rule: "crate-layering",
+                offset,
+                message: format!(
+                    "`{ident}` is not in the layering DAG; assign it a layer \
+                     in {SPEC_PATH} before depending on it"
+                ),
+            });
+            continue;
+        };
+        if from <= to {
+            hits.push(RawHit {
+                rule: "crate-layering",
+                offset,
+                message: format!(
+                    "layering violation: `{self_krate}` (layer {from}) \
+                     references `{ident}` (layer {to}); dependencies must \
+                     point strictly downward in the DAG — see DESIGN.md §17"
+                ),
+            });
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LayeringSpec {
+        LayeringSpec {
+            layers: [("pmf", 0), ("core", 2), ("sim", 4), ("serve", 6), ("taskdrop", 9)]
+                .iter()
+                .map(|&(k, l)| LayerEntry { krate: k.to_string(), layer: l })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn manifest_edge_parsing_sections() {
+        let toml = "[package]\nname = \"taskdrop_sim\"\n\n\
+                    [dependencies]\ntaskdrop_core = { path = \"../core\" }\n\
+                    serde = { path = \"../../vendor/serde\" }\n\n\
+                    [dev-dependencies]\ntaskdrop_serve = { path = \"../serve\" }\n";
+        let edges = edges_of("sim", "crates/sim/Cargo.toml", toml);
+        assert_eq!(edges.len(), 2);
+        assert_eq!((edges[0].to.as_str(), edges[0].dev), ("core", false));
+        assert_eq!((edges[1].to.as_str(), edges[1].dev), ("serve", true));
+        assert_eq!(edges[0].line, 5);
+    }
+
+    #[test]
+    fn workspace_dependency_catalogue_is_not_an_edge() {
+        let toml = "[workspace.dependencies]\ntaskdrop_core = { path = \"crates/core\" }\n\
+                    [dependencies]\ntaskdrop_pmf = { path = \"crates/pmf\" }\n";
+        let edges = edges_of("taskdrop", "Cargo.toml", toml);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].to, "pmf");
+    }
+
+    #[test]
+    fn upward_manifest_edge_fails_downward_passes() {
+        let up = ManifestEdge {
+            from: "sim".into(),
+            to: "serve".into(),
+            dev: false,
+            manifest: "crates/sim/Cargo.toml".into(),
+            line: 7,
+            excerpt: "taskdrop_serve = ..".into(),
+        };
+        let down = ManifestEdge { from: "serve".into(), to: "sim".into(), line: 3, ..up.clone() };
+        let members: Vec<String> =
+            ["pmf", "core", "sim", "serve"].iter().map(|s| (*s).to_string()).collect();
+        let f = check_manifests(&spec(), &[up.clone(), down], &members);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("layering violation"));
+        assert_eq!(f[0].line, 7);
+
+        // Dev-dependencies may reach upward.
+        let dev = ManifestEdge { dev: true, ..up };
+        assert!(check_manifests(&spec(), &[dev], &members).is_empty());
+    }
+
+    #[test]
+    fn unassigned_member_is_reported() {
+        let members: Vec<String> = vec!["pmf".to_string(), "newcrate".to_string()];
+        let f = check_manifests(&spec(), &[], &members);
+        let missing: Vec<&Finding> =
+            f.iter().filter(|x| x.message.contains("no layer assignment")).collect();
+        assert_eq!(missing.len(), 1, "{f:?}");
+        assert!(missing[0].message.contains("newcrate"));
+    }
+
+    #[test]
+    fn stale_spec_entry_is_reported() {
+        let members: Vec<String> = vec!["pmf".to_string(), "core".to_string()];
+        let f = check_manifests(&spec(), &[], &members);
+        // sim/serve are stale (not members in this synthetic workspace).
+        assert!(f.iter().any(|x| x.message.contains("stale layering entry")), "{f:?}");
+    }
+
+    #[test]
+    fn source_edges_respect_direction() {
+        let s = spec();
+        // Downward: serve (6) → core (2) is fine.
+        assert!(source_hits("use taskdrop_core::Tick;", "serve", &s).is_empty());
+        // Upward: core (2) → serve (6) fires.
+        let hits = source_hits("use taskdrop_serve::Shard;", "core", &s);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("layering violation"));
+        // Self-references never fire.
+        assert!(source_hits("use taskdrop_core::Tick;", "core", &s).is_empty());
+        // Unknown target crate fires a coverage hit.
+        let hits = source_hits("use taskdrop_mystery::X;", "core", &s);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("not in the layering DAG"));
+    }
+}

@@ -213,6 +213,12 @@ pub fn scan(src: &str) -> Scanned {
             let mut j = i + 1;
             while j < b.len() {
                 if b[j] == b'\\' && j + 1 < b.len() {
+                    // Line-continuation escape: the skipped byte may be the
+                    // newline itself — keep line accounting honest.
+                    if b[j + 1] == b'\n' {
+                        line += 1;
+                        line_starts.push(j + 2);
+                    }
                     j += 2;
                 } else if b[j] == b'"' {
                     break;
@@ -231,9 +237,15 @@ pub fn scan(src: &str) -> Scanned {
         // Char literal vs lifetime.
         if c == b'\'' {
             if i + 1 < b.len() && b[i + 1] == b'\\' {
-                // Escaped char literal: consume to closing quote.
+                // Escaped char literal: consume to closing quote. Valid
+                // literals are single-line, but malformed input must not
+                // corrupt line accounting.
                 let mut j = i + 2;
                 while j < b.len() && b[j] != b'\'' {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        line_starts.push(j + 1);
+                    }
                     j += 1;
                 }
                 blank!(i + 1, j.min(b.len()));
@@ -371,6 +383,15 @@ mod tests {
         let s = scan("// \"unterminated\nlet live = 1;\n");
         assert!(s.masked.contains("let live = 1;"));
         assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"first \\\n    second\";\nfn tail() {}\n";
+        let s = scan(src);
+        let off = s.masked.find("tail").unwrap();
+        assert_eq!(s.line_col(off), (3, 4));
+        assert!(!s.masked.contains("second"));
     }
 
     #[test]

@@ -9,16 +9,22 @@
 //! the differential suites can only catch after the fact. This crate is
 //! the layer that *prevents* those hazards from entering the tree.
 //!
-//! It is deliberately humble machinery: a hand-rolled comment/string/
-//! raw-string-aware scanner ([`lexer`]) masks every non-code byte, a rule
-//! engine ([`engine`]) runs ~8 catalogued pattern rules ([`rules`]) over
-//! the masked text with per-crate scoping and `#[cfg(test)]` awareness,
-//! a `// lint:allow(<rule>): <reason>` pragma grants scoped, *explained*
-//! exemptions (a bare allow is itself a violation), and count-gated rules
-//! compare against a committed [`ratchet`] baseline that may only go down.
+//! It is deliberately humble machinery, layered: a hand-rolled comment/
+//! string/raw-string-aware scanner ([`lexer`]) masks every non-code byte;
+//! a token-tree pass ([`ttree`]) recovers the balanced `{}/()/[]`
+//! delimiter structure of the masked text; an item segmenter ([`items`])
+//! turns that into `use`/`fn`/`struct`/`impl`/`mod` items with attribute,
+//! `#[cfg(test)]`, `#[derive(...)]` and `macro_rules!`-body awareness.
+//! On top, the rule engine ([`engine`]) runs the catalogued pattern rules
+//! ([`rules`]) with per-crate scoping, plus two structural passes: the
+//! crate-layering DAG ([`layering`]) and checkpoint-schema fingerprinting
+//! ([`schema`]). A `// lint:allow(<rule>): <reason>` pragma grants
+//! scoped, *explained* exemptions (a bare allow is itself a violation),
+//! and count-gated rules compare per crate against a committed
+//! [`ratchet`] baseline that may only go down.
 //!
 //! `cargo run -p taskdrop_lint` is the CI entry point; see DESIGN.md §14
-//! for the rule catalogue and the policy behind it.
+//! and §17 for the rule catalogue and the policy behind it.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -26,12 +32,22 @@
 
 pub mod diag;
 pub mod engine;
+pub mod items;
+pub mod layering;
 pub mod lexer;
 pub mod ratchet;
 pub mod rules;
+pub mod schema;
+pub mod ttree;
 
 pub use diag::{Finding, FindingJson, Severity};
-pub use engine::{check_source, classify, run_workspace, FileClass, FileReport, Report, Section};
+pub use engine::{
+    check_source, check_source_in, classify, run_workspace, FileClass, FileReport, Report, Section,
+};
+pub use items::{segment, Item, ItemIndex, ItemKind};
+pub use layering::{LayerEntry, LayeringSpec, ManifestEdge};
 pub use lexer::{scan, LineComment, Scanned};
 pub use ratchet::{Ratchet, RatchetEntry, RatchetStatus};
 pub use rules::{rule, Rule, Scope, RULES};
+pub use schema::{SchemaSnapshot, TypeFingerprint, SCHEMA_PATH, SCHEMA_ROOTS};
+pub use ttree::{Delim, Pair, TokenTree};

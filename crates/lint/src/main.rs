@@ -1,12 +1,14 @@
-//! CI entry point: lint the workspace, print diagnostics, gate on errors
-//! and ratchet regressions.
+//! CI entry point: lint the workspace, print diagnostics, gate on errors,
+//! ratchet regressions, schema drift, and the self-timing budget.
 //!
 //! ```text
-//! cargo run -p taskdrop_lint --release [-- --json] [--update-ratchet] [--root <dir>] [--rules]
+//! cargo run -p taskdrop_lint --release [-- --json] [--update-ratchet] \
+//!     [--update-schema] [--root <dir>] [--budget-ms <n>] [--rules]
 //! ```
 //!
-//! Exit codes: `0` clean (warnings allowed), `1` error findings or ratchet
-//! regression, `2` usage/I-O trouble.
+//! Exit codes: `0` clean (warnings allowed), `1` error findings, ratchet
+//! regression or blown budget, `2` usage/I-O trouble (including a refused
+//! `--update-schema`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -16,48 +18,74 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use serde::Serialize;
-use taskdrop_lint::{run_workspace, FindingJson, Ratchet, Severity, RULES};
+use taskdrop_lint::{run_workspace, FindingJson, Ratchet, Severity, RULES, SCHEMA_PATH};
 
-/// `--json` payload: findings plus per-ratchet status.
+/// `--json` payload: findings plus per-ratchet and schema status.
 #[derive(Debug, Serialize)]
 struct JsonReport {
     ok: bool,
     files_scanned: usize,
+    elapsed_ms: u64,
+    budget_ms: u64,
     findings: Vec<FindingJson>,
     ratchets: Vec<JsonRatchet>,
+    schema: Option<JsonSchema>,
 }
 
 #[derive(Debug, Serialize)]
 struct JsonRatchet {
     rule: String,
+    krate: String,
     count: usize,
     baseline: Option<usize>,
     regressed: bool,
 }
 
+#[derive(Debug, Serialize)]
+struct JsonSchema {
+    checkpoint_version: u32,
+    root_hash: String,
+    types: usize,
+    committed_matches: bool,
+}
+
+/// Default self-timing budget: the whole pass must finish inside the CI
+/// allowance (DESIGN.md §17).
+const DEFAULT_BUDGET_MS: u64 = 5000;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: taskdrop_lint [--json] [--update-ratchet] [--root <dir>] [--rules]\n\
-         Lints all taskdrop_* crates for determinism & concurrency-readiness\n\
-         hazards (DESIGN.md §14). Exit 1 on error findings or ratchet regression."
+        "usage: taskdrop_lint [--json] [--update-ratchet] [--update-schema] \
+         [--root <dir>] [--budget-ms <n>] [--rules]\n\
+         Lints all taskdrop_* crates for determinism, concurrency-readiness\n\
+         and structural hazards (DESIGN.md §14, §17). Exit 1 on error\n\
+         findings, ratchet regression, or blown time budget."
     );
     ExitCode::from(2)
 }
 
+#[allow(clippy::too_many_lines)] // linear CLI flow; splitting would only scatter it
 fn main() -> ExitCode {
     #[allow(clippy::disallowed_methods)]
     // lint:allow(wall-clock): CLI self-timing polices the <5 s CI budget; this never touches the sim path
     let started = Instant::now();
     let mut json = false;
     let mut update_ratchet = false;
+    let mut update_schema = false;
+    let mut budget_ms = DEFAULT_BUDGET_MS;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--update-ratchet" => update_ratchet = true,
+            "--update-schema" => update_schema = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--budget-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => budget_ms = n,
                 None => return usage(),
             },
             "--rules" => {
@@ -74,7 +102,9 @@ fn main() -> ExitCode {
     // workspace root — so `cargo run -p taskdrop_lint` works from anywhere.
     let root =
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
-    let ratchet_path = root.join("crates").join("lint").join("ratchet.json");
+    let lint_dir = root.join("crates").join("lint");
+    let ratchet_path = lint_dir.join("ratchet.json");
+    let schema_path = lint_dir.join("schema.json");
     let baseline = match Ratchet::load(&ratchet_path) {
         Ok(b) => b,
         Err(e) => {
@@ -83,7 +113,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run_workspace(&root, &baseline) {
+    let mut report = match run_workspace(&root, &baseline) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("taskdrop_lint: failed to scan {}: {e}", root.display());
@@ -92,8 +122,8 @@ fn main() -> ExitCode {
     };
 
     if update_ratchet {
-        let counts: Vec<(&str, usize)> =
-            report.ratchets.iter().map(|r| (r.rule, r.count)).collect();
+        let counts: Vec<(&str, &str, usize)> =
+            report.ratchets.iter().map(|r| (r.rule, r.krate.as_str(), r.count)).collect();
         if let Err(e) = Ratchet::from_counts(&counts).save(&ratchet_path) {
             eprintln!("taskdrop_lint: failed to write {}: {e}", ratchet_path.display());
             return ExitCode::from(2);
@@ -101,28 +131,78 @@ fn main() -> ExitCode {
         println!("ratchet updated: {}", ratchet_path.display());
     }
 
+    if update_schema {
+        let Some(current) = &report.schema_current else {
+            eprintln!(
+                "taskdrop_lint: --update-schema found no checkpoint root \
+                 types in the tree; nothing to fingerprint"
+            );
+            return ExitCode::from(2);
+        };
+        // Refuse to launder drift: fingerprints may only be re-recorded
+        // alongside a CHECKPOINT_VERSION bump (or when they are unchanged).
+        if let Some(committed) = &report.schema_committed {
+            if committed.checkpoint_version == current.checkpoint_version
+                && committed.root_hash != current.root_hash
+            {
+                eprintln!(
+                    "taskdrop_lint: --update-schema refused — the schema \
+                     changed but CHECKPOINT_VERSION is still {}; bump the \
+                     version first so old checkpoints stay parseable",
+                    current.checkpoint_version
+                );
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = current.save(&schema_path) {
+            eprintln!("taskdrop_lint: failed to write {}: {e}", schema_path.display());
+            return ExitCode::from(2);
+        }
+        println!("schema fingerprints updated: {}", schema_path.display());
+        // The drift findings computed against the stale committed file no
+        // longer apply (the refusal path above already screened them).
+        report.findings.retain(|f| f.rule != "schema-drift");
+        report.schema_committed = Some(current.clone());
+    }
+
+    let error_fail = report.findings.iter().any(|f| f.severity == Severity::Error);
     // --update-ratchet forgives ratchet drift (it just recorded the new
     // baseline) but never error-severity findings.
-    let error_fail = report.findings.iter().any(|f| f.severity == Severity::Error);
     let ratchet_fail =
         !update_ratchet && report.ratchets.iter().any(taskdrop_lint::RatchetStatus::regressed);
-    let failed = error_fail || ratchet_fail;
+    #[allow(clippy::disallowed_methods)]
+    let elapsed = started.elapsed();
+    let elapsed_ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+    let budget_fail = elapsed_ms > budget_ms;
+    let failed = error_fail || ratchet_fail || budget_fail;
 
     if json {
         let payload = JsonReport {
             ok: !failed,
             files_scanned: report.files_scanned,
+            elapsed_ms,
+            budget_ms,
             findings: report.findings.iter().map(FindingJson::from).collect(),
             ratchets: report
                 .ratchets
                 .iter()
                 .map(|r| JsonRatchet {
                     rule: r.rule.to_string(),
+                    krate: r.krate.clone(),
                     count: r.count,
                     baseline: r.baseline,
                     regressed: r.regressed() && !update_ratchet,
                 })
                 .collect(),
+            schema: report.schema_current.as_ref().map(|s| JsonSchema {
+                checkpoint_version: s.checkpoint_version,
+                root_hash: s.root_hash.clone(),
+                types: s.types.len(),
+                committed_matches: report
+                    .schema_committed
+                    .as_ref()
+                    .is_some_and(|c| c.root_hash == s.root_hash),
+            }),
         };
         match serde_json::to_string_pretty(&payload) {
             Ok(s) => println!("{s}"),
@@ -143,14 +223,14 @@ fn main() -> ExitCode {
         if r.regressed() && !update_ratchet {
             match r.baseline {
                 Some(b) => println!(
-                    "ratchet[{}]: REGRESSED — {} sites vs committed baseline {}; \
+                    "ratchet[{}/{}]: REGRESSED — {} sites vs committed baseline {}; \
                      fix the new sites or (after review) run --update-ratchet",
-                    r.rule, r.count, b
+                    r.rule, r.krate, r.count, b
                 ),
                 None => println!(
-                    "ratchet[{}]: no committed baseline for {} sites; \
+                    "ratchet[{}/{}]: no committed baseline for {} sites; \
                      run --update-ratchet to record one",
-                    r.rule, r.count
+                    r.rule, r.krate, r.count
                 ),
             }
             for site in &r.sites {
@@ -158,27 +238,36 @@ fn main() -> ExitCode {
             }
         } else if r.improvable() {
             println!(
-                "ratchet[{}]: improved — {} sites vs baseline {}; \
+                "ratchet[{}/{}]: improved — {} sites vs baseline {}; \
                  run --update-ratchet to lock the gain in",
                 r.rule,
-                r.count,
-                r.baseline.unwrap_or(0)
-            );
-        } else {
-            println!(
-                "ratchet[{}]: {} sites (baseline {}) ok",
-                r.rule,
+                r.krate,
                 r.count,
                 r.baseline.unwrap_or(0)
             );
         }
     }
+    if let Some(s) = &report.schema_current {
+        let status = match &report.schema_committed {
+            Some(c) if c.root_hash == s.root_hash => "matches committed".to_string(),
+            Some(_) => "DIFFERS from committed".to_string(),
+            None => format!("no committed {SCHEMA_PATH}"),
+        };
+        println!(
+            "schema: v{} — {} reachable types, root {} ({status})",
+            s.checkpoint_version,
+            s.types.len(),
+            s.root_hash
+        );
+    }
+    if budget_fail {
+        println!("budget: BLOWN — {elapsed_ms} ms vs {budget_ms} ms allowance");
+    }
     println!(
-        "taskdrop_lint: {} files, {} errors, {} warnings in {:.2?} — {}",
+        "taskdrop_lint: {} files, {} errors, {} warnings in {elapsed_ms} ms — {}",
         report.files_scanned,
         errors,
         warns,
-        started.elapsed(),
         if failed { "FAIL" } else { "ok" }
     );
     if failed {

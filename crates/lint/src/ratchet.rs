@@ -1,10 +1,14 @@
-//! The ratchet: committed per-rule counts that may only decrease.
+//! The ratchet: committed per-rule, per-crate counts that may only
+//! decrease.
 //!
-//! Count-gated rules (today: `serve-unwrap`) don't fail on existing debt —
-//! they fail on *new* debt. The committed baseline lives in
-//! `crates/lint/ratchet.json`; CI fails when a count exceeds its baseline
-//! (or has no baseline at all), and `--update-ratchet` re-records current
-//! counts after genuine clean-ups.
+//! Count-gated rules (`panic-unwrap`, `panic-macro`, `slice-index`) don't
+//! fail on existing debt — they fail on *new* debt, and they localize it:
+//! each `(rule, crate)` pair carries its own committed count, so an
+//! `unwrap()` added to `serve` can't hide behind slack in `bench`. The
+//! committed baseline lives in `crates/lint/ratchet.json`; CI fails when
+//! any count exceeds its baseline (a missing entry reads as zero), and
+//! `--update-ratchet` re-records current counts after genuine clean-ups
+//! (entries that reach zero are dropped from the file).
 
 use std::path::Path;
 
@@ -17,6 +21,8 @@ use crate::diag::Finding;
 pub struct RatchetEntry {
     /// Rule id.
     pub rule: String,
+    /// Short crate name the count applies to.
+    pub krate: String,
     /// Highest permitted finding count.
     pub count: usize,
 }
@@ -24,25 +30,37 @@ pub struct RatchetEntry {
 /// The committed baseline file contents.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Ratchet {
-    /// Entries, kept sorted by rule id for a stable on-disk form.
+    /// Entries, kept sorted by (rule, crate) for a stable on-disk form.
     pub entries: Vec<RatchetEntry>,
 }
 
 impl Ratchet {
-    /// Baseline for `rule`, if recorded.
+    /// Baseline for `(rule, krate)`, if recorded.
     #[must_use]
-    pub fn get(&self, rule: &str) -> Option<usize> {
-        self.entries.iter().find(|e| e.rule == rule).map(|e| e.count)
+    pub fn get(&self, rule: &str, krate: &str) -> Option<usize> {
+        self.entries.iter().find(|e| e.rule == rule && e.krate == krate).map(|e| e.count)
     }
 
-    /// Build a baseline from `(rule, count)` pairs.
+    /// Crates with a recorded baseline for `rule`.
     #[must_use]
-    pub fn from_counts(counts: &[(&str, usize)]) -> Self {
+    pub fn crates_for(&self, rule: &str) -> Vec<&str> {
+        self.entries.iter().filter(|e| e.rule == rule).map(|e| e.krate.as_str()).collect()
+    }
+
+    /// Build a baseline from `(rule, crate, count)` triples; zero counts
+    /// are dropped (absence already means zero).
+    #[must_use]
+    pub fn from_counts(counts: &[(&str, &str, usize)]) -> Self {
         let mut entries: Vec<RatchetEntry> = counts
             .iter()
-            .map(|&(rule, count)| RatchetEntry { rule: rule.to_string(), count })
+            .filter(|&&(_, _, count)| count > 0)
+            .map(|&(rule, krate, count)| RatchetEntry {
+                rule: rule.to_string(),
+                krate: krate.to_string(),
+                count,
+            })
             .collect();
-        entries.sort_by(|a, b| a.rule.cmp(&b.rule));
+        entries.sort_by(|a, b| (&a.rule, &a.krate).cmp(&(&b.rule, &b.krate)));
         Ratchet { entries }
     }
 
@@ -70,7 +88,7 @@ impl Ratchet {
     /// I/O failures writing the file.
     pub fn save(&self, path: &Path) -> std::io::Result<Self> {
         let mut sorted = self.clone();
-        sorted.entries.sort_by(|a, b| a.rule.cmp(&b.rule));
+        sorted.entries.sort_by(|a, b| (&a.rule, &a.krate).cmp(&(&b.rule, &b.krate)));
         let json = serde_json::to_string_pretty(&sorted)
             .map_err(|e| std::io::Error::other(format!("serialize ratchet: {e:?}")))?;
         std::fs::write(path, json + "\n")?;
@@ -78,11 +96,13 @@ impl Ratchet {
     }
 }
 
-/// Outcome of one ratcheted rule against the baseline.
+/// Outcome of one `(rule, crate)` ratchet against the baseline.
 #[derive(Debug)]
 pub struct RatchetStatus {
     /// Rule id.
     pub rule: &'static str,
+    /// Short crate name.
+    pub krate: String,
     /// Findings counted in this run.
     pub count: usize,
     /// Committed baseline, if any.
@@ -93,7 +113,7 @@ pub struct RatchetStatus {
 
 impl RatchetStatus {
     /// A count above the baseline fails the run; a missing baseline counts
-    /// as zero (debt-free trees need no ratchet file).
+    /// as zero (debt-free crates need no entry).
     #[must_use]
     pub fn regressed(&self) -> bool {
         self.count > self.baseline.unwrap_or(0)
@@ -112,16 +132,22 @@ mod tests {
 
     #[test]
     fn missing_baseline_reads_as_zero() {
-        let mk =
-            |count| RatchetStatus { rule: "serve-unwrap", count, baseline: None, sites: vec![] };
-        assert!(!mk(0).regressed(), "debt-free trees need no ratchet file");
+        let mk = |count| RatchetStatus {
+            rule: "panic-unwrap",
+            krate: "serve".to_string(),
+            count,
+            baseline: None,
+            sites: vec![],
+        };
+        assert!(!mk(0).regressed(), "debt-free crates need no ratchet entry");
         assert!(mk(1).regressed(), "any unrecorded debt fails");
     }
 
     #[test]
     fn count_above_baseline_regresses_below_improves() {
         let mk = |count, baseline| RatchetStatus {
-            rule: "serve-unwrap",
+            rule: "panic-unwrap",
+            krate: "serve".to_string(),
             count,
             baseline: Some(baseline),
             sites: vec![],
@@ -134,14 +160,28 @@ mod tests {
     }
 
     #[test]
+    fn per_crate_keys_are_independent() {
+        let r = Ratchet::from_counts(&[
+            ("panic-unwrap", "lint", 7),
+            ("panic-unwrap", "serve", 0),
+            ("slice-index", "pmf", 2),
+        ]);
+        assert_eq!(r.get("panic-unwrap", "lint"), Some(7));
+        assert_eq!(r.get("panic-unwrap", "serve"), None, "zero counts are dropped");
+        assert_eq!(r.get("slice-index", "pmf"), Some(2));
+        assert_eq!(r.get("slice-index", "lint"), None);
+        assert_eq!(r.crates_for("panic-unwrap"), ["lint"]);
+    }
+
+    #[test]
     fn roundtrip_via_json() {
-        let r = Ratchet::from_counts(&[("serve-unwrap", 29), ("other", 3)]);
+        let r = Ratchet::from_counts(&[("panic-unwrap", "serve", 29), ("slice-index", "sim", 3)]);
         let json = serde_json::to_string(&r).unwrap();
         let back: Ratchet = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.get("serve-unwrap"), Some(29));
-        assert_eq!(back.get("other"), Some(3));
-        assert_eq!(back.get("absent"), None);
+        assert_eq!(back.get("panic-unwrap", "serve"), Some(29));
+        assert_eq!(back.get("slice-index", "sim"), Some(3));
+        assert_eq!(back.get("panic-unwrap", "absent"), None);
         // from_counts sorts for a stable on-disk form.
-        assert_eq!(r.entries[0].rule, "other");
+        assert_eq!(r.entries[0].rule, "panic-unwrap");
     }
 }

@@ -9,9 +9,14 @@
 //! * **Concurrency-readiness (C1–C2)** — ground rules for the threaded
 //!   `ServiceDriver` work: ad-hoc `std` threading primitives are banned in
 //!   the simulation core (threading belongs to the driver's deterministic
-//!   merge layer, through the vendored crossbeam), and the `unwrap()` count
-//!   in the serving layer is ratcheted downward (typed `SimError` is the
-//!   checkpoint/restore contract).
+//!   merge layer, through the vendored crossbeam), and the panic surface —
+//!   `.unwrap()`/`.expect()`, `panic!`-family macros, slice indexing — is
+//!   ratcheted downward per crate (typed `SimError` is the checkpoint/
+//!   restore contract).
+//! * **Structural (S1–S2)** — invariants computed from the token-tree/item
+//!   layer plus workspace metadata: the crate-layering DAG
+//!   (`crate-layering`, see [`crate::layering`]) and checkpoint-schema
+//!   fingerprints (`schema-drift`, see [`crate::schema`]).
 //!
 //! Plus one meta-rule: a `lint:allow` pragma without a reason (or naming an
 //! unknown rule) is itself a violation (`bare-allow`).
@@ -31,8 +36,6 @@ pub enum Scope {
     /// The crates the threaded driver will coordinate: `sim`, `model`,
     /// `core`, `pmf`.
     ConcurrencyCore,
-    /// `crates/serve` only.
-    ServeOnly,
 }
 
 /// Static description of one rule.
@@ -113,14 +116,54 @@ pub const RULES: &[Rule] = &[
                   crossbeam",
     },
     Rule {
-        id: "serve-unwrap",
+        id: "panic-unwrap",
         severity: Severity::Ratchet,
-        scope: Scope::ServeOnly,
+        scope: Scope::Everywhere,
         in_tests: false,
         dedup_per_line: false,
-        summary: "C2: ratcheted .unwrap()/.expect() count in crates/serve — \
-                  typed SimError is the checkpoint/restore contract; the \
-                  committed baseline may only go down",
+        summary: "C2: per-crate ratcheted .unwrap()/.expect() count in \
+                  non-test code — typed SimError is the checkpoint/restore \
+                  contract; committed baselines may only go down",
+    },
+    Rule {
+        id: "panic-macro",
+        severity: Severity::Ratchet,
+        scope: Scope::Everywhere,
+        in_tests: false,
+        dedup_per_line: false,
+        summary: "C2: per-crate ratcheted panic!/unreachable!/todo!/\
+                  unimplemented! count in non-test code — a panic in the \
+                  fleet kills determinism mid-epoch; prefer typed errors",
+    },
+    Rule {
+        id: "slice-index",
+        severity: Severity::Ratchet,
+        scope: Scope::Everywhere,
+        in_tests: false,
+        dedup_per_line: true,
+        summary: "C2: per-crate ratcheted slice/array indexing (`x[i]`) \
+                  count in non-test code — an out-of-bounds index is an \
+                  implicit panic; prefer .get()/.get_mut()",
+    },
+    Rule {
+        id: "crate-layering",
+        severity: Severity::Error,
+        scope: Scope::Everywhere,
+        in_tests: false,
+        dedup_per_line: true,
+        summary: "S1: every taskdrop_* dependency edge (Cargo.toml and \
+                  source) must point strictly downward in the committed \
+                  layering DAG (crates/lint/layering.json)",
+    },
+    Rule {
+        id: "schema-drift",
+        severity: Severity::Error,
+        scope: Scope::Everywhere,
+        in_tests: false,
+        dedup_per_line: false,
+        summary: "S2: serde types reachable from Checkpoint/ShardCheckpoint/\
+                  DagCheckpoint must match the committed fingerprints \
+                  (crates/lint/schema.json) or bump CHECKPOINT_VERSION",
     },
     Rule {
         id: "bare-allow",
@@ -333,7 +376,7 @@ pub(crate) fn match_all(masked: &str) -> Vec<RawHit> {
         }
     }
 
-    // C2 — `.unwrap()` / `.expect(` method calls (ratcheted in serve).
+    // C2a — `.unwrap()` / `.expect(` method calls (per-crate ratchet).
     for w in ["unwrap", "expect"] {
         for start in find_word(masked, w) {
             // Must be a method call: a `.` before (whitespace allowed, for
@@ -350,15 +393,77 @@ pub(crate) fn match_all(masked: &str) -> Vec<RawHit> {
                 continue;
             }
             out.push(RawHit {
-                rule: "serve-unwrap",
+                rule: "panic-unwrap",
                 offset: start,
                 message: format!(
-                    "`.{w}()` on the serving path; checkpoint/restore \
-                     promises typed `SimError`s — return one instead \
-                     (ratcheted: the committed count may only decrease)"
+                    "`.{w}()` in non-test code; prefer a typed error \
+                     (ratcheted per crate: the committed count may only \
+                     decrease)"
                 ),
             });
         }
+    }
+
+    // C2b — panic-family macros (per-crate ratchet).
+    for w in ["panic", "unreachable", "todo", "unimplemented"] {
+        for start in find_word(masked, w) {
+            let after = start + w.len();
+            if after >= bytes.len() || bytes[after] != b'!' {
+                continue;
+            }
+            out.push(RawHit {
+                rule: "panic-macro",
+                offset: start,
+                message: format!(
+                    "`{w}!` in non-test code; a panic mid-epoch breaks the \
+                     fleet's deterministic merge — prefer a typed error \
+                     (ratcheted per crate)"
+                ),
+            });
+        }
+    }
+
+    // C2c — slice/array indexing (per-crate ratchet): a `[` whose previous
+    // non-whitespace byte ends an expression (identifier, `)` or `]`) is an
+    // index, unless that identifier is a keyword (`let [a, b] = ..`,
+    // `match x { .. }` arms, `return [..]`, etc.).
+    const NON_INDEX_KEYWORDS: &[&str] = &[
+        "let", "mut", "ref", "in", "if", "else", "match", "return", "as", "box", "move", "dyn",
+        "impl", "where", "break", "continue", "loop", "while", "for", "unsafe", "async", "const",
+        "static", "struct", "enum", "union", "type", "fn", "use", "pub", "mod", "trait", "await",
+        "yield",
+    ];
+    for (i, _) in masked.match_indices('[') {
+        let mut k = i;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = bytes[k - 1];
+        let expr_end = prev == b')' || prev == b']' || is_ident_byte(prev);
+        if !expr_end {
+            continue;
+        }
+        if is_ident_byte(prev) {
+            let mut s = k - 1;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            let word = &masked[s..k];
+            if NON_INDEX_KEYWORDS.contains(&word) {
+                continue;
+            }
+        }
+        out.push(RawHit {
+            rule: "slice-index",
+            offset: i,
+            message: "slice/array indexing panics out of bounds; prefer \
+                      `.get()`/`.get_mut()` with a typed error (ratcheted \
+                      per crate)"
+                .to_string(),
+        });
     }
 
     out
@@ -412,12 +517,40 @@ mod tests {
 
     #[test]
     fn unwrap_must_be_a_method_call() {
-        assert_eq!(hits("x.unwrap()", "serve-unwrap"), 1);
-        assert_eq!(hits("x.expect(\"msg\")", "serve-unwrap"), 1);
-        assert_eq!(hits("x\n    .unwrap()", "serve-unwrap"), 1);
-        assert_eq!(hits("x.unwrap_or(0)", "serve-unwrap"), 0);
-        assert_eq!(hits("fn unwrap() {}", "serve-unwrap"), 0);
-        assert_eq!(hits("Self::unwrap(x)", "serve-unwrap"), 0);
+        assert_eq!(hits("x.unwrap()", "panic-unwrap"), 1);
+        assert_eq!(hits("x.expect(\"msg\")", "panic-unwrap"), 1);
+        assert_eq!(hits("x\n    .unwrap()", "panic-unwrap"), 1);
+        assert_eq!(hits("x.unwrap_or(0)", "panic-unwrap"), 0);
+        assert_eq!(hits("fn unwrap() {}", "panic-unwrap"), 0);
+        assert_eq!(hits("Self::unwrap(x)", "panic-unwrap"), 0);
+    }
+
+    #[test]
+    fn panic_macros_need_the_bang() {
+        assert_eq!(hits("panic!(\"boom\")", "panic-macro"), 1);
+        assert_eq!(hits("unreachable!()", "panic-macro"), 1);
+        assert_eq!(hits("todo!()", "panic-macro"), 1);
+        assert_eq!(hits("unimplemented!()", "panic-macro"), 1);
+        assert_eq!(hits("core::panic!(\"boom\")", "panic-macro"), 1);
+        assert_eq!(hits("fn panic() {}", "panic-macro"), 0);
+        assert_eq!(hits("self.panic_count += 1;", "panic-macro"), 0);
+        assert_eq!(hits("assert_eq!(a, b)", "panic-macro"), 0);
+    }
+
+    #[test]
+    fn slice_index_heuristics() {
+        assert_eq!(hits("let x = v[0];", "slice-index"), 1);
+        assert_eq!(hits("let x = arr[i][j];", "slice-index"), 2);
+        assert_eq!(hits("let x = f()[0];", "slice-index"), 1);
+        assert_eq!(hits("let x = v[1..n];", "slice-index"), 1);
+        // Patterns, types and literals are not indexing.
+        assert_eq!(hits("let [a, b] = pair;", "slice-index"), 0);
+        assert_eq!(hits("fn f(x: [u8; 2]) -> [u8; 2] { x }", "slice-index"), 0);
+        assert_eq!(hits("let v = vec![1, 2];", "slice-index"), 0);
+        assert_eq!(hits("let a = [0u8; 4];", "slice-index"), 0);
+        assert_eq!(hits("fn g(s: &[u8]) {}", "slice-index"), 0);
+        assert_eq!(hits("#[derive(Debug)]\nstruct S;", "slice-index"), 0);
+        assert_eq!(hits("for [a, b] in pairs {}", "slice-index"), 0);
     }
 
     #[test]

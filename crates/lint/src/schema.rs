@@ -1,0 +1,633 @@
+//! Checkpoint-schema fingerprinting: the "old checkpoints parse" promise
+//! as a lint gate.
+//!
+//! PR 8 committed to versioned, replayable checkpoints. The soft spot is
+//! silent drift: a field added to a serde struct reachable from
+//! `Checkpoint`/`ShardCheckpoint`/`DagCheckpoint` changes the wire
+//! format without anyone bumping `CHECKPOINT_VERSION`, and old snapshots
+//! stop restoring. This module inventories every serde type reachable
+//! from the roots (via the item segmentation — field names, types and
+//! *order*, serde/cfg attributes included), hashes each type with FNV-1a
+//! 64, and compares against the committed `crates/lint/schema.json`:
+//!
+//! * same `CHECKPOINT_VERSION`, same fingerprints → clean;
+//! * same version, different fingerprints → **error** at each drifted
+//!   type (the change needs a same-PR version bump);
+//! * bumped version → **error** until `--update-schema` refreshes the
+//!   committed file (and `--update-schema` itself *refuses* to run when
+//!   the version was not bumped — drift can't be laundered).
+//!
+//! Fingerprints are computed over masked text, so comments never perturb
+//! them; the one blind spot is the *content* of string literals in field
+//! attributes (masked to spaces), which is acceptable — names, types,
+//! order, and attribute shape all survive.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diag::{Finding, Severity};
+use crate::items::{ItemIndex, ItemKind};
+use crate::lexer::Scanned;
+use crate::ttree::TokenTree;
+
+/// The root types whose reachable closure is fingerprinted.
+pub const SCHEMA_ROOTS: &[&str] = &["Checkpoint", "ShardCheckpoint", "DagCheckpoint"];
+
+/// Workspace-relative path of the committed fingerprint file.
+pub const SCHEMA_PATH: &str = "crates/lint/schema.json";
+
+/// One serde type as collected from source (pre-reachability).
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    /// Defining crate (short name).
+    pub krate: String,
+    /// Type name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based definition line.
+    pub line: usize,
+    /// `struct` / `enum` / `alias`.
+    pub kind: &'static str,
+    /// Rendered fields (or variants / alias target), in declaration order.
+    pub fields: Vec<String>,
+    /// Identifiers referenced by the field types (reachability edges).
+    pub referenced: Vec<String>,
+}
+
+/// The committed fingerprint of one reachable type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeFingerprint {
+    /// Defining crate.
+    pub krate: String,
+    /// Type name.
+    pub name: String,
+    /// FNV-1a 64 hash (hex) of kind + name + field renderings.
+    pub hash: String,
+    /// Rendered fields, committed for reviewable diffs.
+    pub fields: Vec<String>,
+    /// Workspace-relative file (for diagnostics; not hashed).
+    pub file: String,
+    /// 1-based line (not hashed).
+    pub line: usize,
+}
+
+/// The full committed snapshot (`crates/lint/schema.json`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemaSnapshot {
+    /// `CHECKPOINT_VERSION` at snapshot time.
+    pub checkpoint_version: u32,
+    /// Order-independent hash over all type fingerprints.
+    pub root_hash: String,
+    /// All reachable types, sorted by (crate, name).
+    pub types: Vec<TypeFingerprint>,
+}
+
+impl SchemaSnapshot {
+    /// Load from `path`; `Ok(None)` when the file doesn't exist.
+    ///
+    /// # Errors
+    /// I/O failures other than not-found, and malformed JSON.
+    pub fn load(path: &Path) -> std::io::Result<Option<Self>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text).map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed schema file {}: {e:?}", path.display()),
+                )
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write to `path` as pretty JSON with a trailing newline.
+    ///
+    /// # Errors
+    /// I/O failures writing the file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("serialize schema: {e:?}")))?;
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Fingerprint for `(krate, name)`, if present.
+    #[must_use]
+    pub fn get(&self, krate: &str, name: &str) -> Option<&TypeFingerprint> {
+        self.types.iter().find(|t| t.krate == krate && t.name == name)
+    }
+}
+
+/// FNV-1a 64 (dependency-free; stability matters more than strength —
+/// this detects accidental drift, not adversaries).
+#[must_use]
+pub fn fnv64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Collapse all whitespace runs in `text` to single spaces.
+fn squash(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Split `masked[start..end]` at top-level commas (delimiter groups
+/// jumped via the tree), returning non-empty chunk spans.
+fn split_fields(masked: &[u8], tree: &TokenTree, start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut chunks = Vec::new();
+    let mut chunk_start = start;
+    let mut i = start;
+    while i < end {
+        match masked[i] {
+            b'{' | b'(' | b'[' => {
+                i = tree.close_of(i).map_or(i + 1, |c| (c + 1).min(end));
+            }
+            b'<' => {
+                // Generic args: angle-scan with `->` guard.
+                let mut depth = 0usize;
+                while i < end {
+                    match masked[i] {
+                        b'(' | b'[' => {
+                            i = tree.close_of(i).map_or(i + 1, |c| (c + 1).min(end));
+                            continue;
+                        }
+                        b'<' => depth += 1,
+                        b'>' if i > 0 && masked[i - 1] != b'-' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            b',' => {
+                chunks.push((chunk_start, i));
+                i += 1;
+                chunk_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    chunks.push((chunk_start, end));
+    chunks
+}
+
+/// Identifiers in `text` outside `#[...]` attribute groups.
+fn type_idents(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'#' {
+            // Skip the attribute group.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'[' {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let s = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push(text[s..i].to_string());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Collect serde type definitions (and any `CHECKPOINT_VERSION` const)
+/// from one segmented file.
+#[must_use]
+pub fn collect(
+    rel: &str,
+    krate: &str,
+    scanned: &Scanned,
+    tree: &TokenTree,
+    items: &ItemIndex,
+) -> (Vec<TypeDef>, Option<u32>) {
+    let masked = scanned.masked.as_bytes();
+    let mut defs = Vec::new();
+    let mut version = None;
+    for item in &items.items {
+        if item.cfg_test {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Struct | ItemKind::Enum | ItemKind::Union => {
+                let is_serde = item.derives.iter().any(|d| d == "Serialize" || d == "Deserialize");
+                if !is_serde || item.name.is_empty() {
+                    continue;
+                }
+                let kind = if item.kind == ItemKind::Enum { "enum" } else { "struct" };
+                let mut fields = Vec::new();
+                let mut referenced = Vec::new();
+                if let Some((open, close)) = item.body {
+                    for (s, e) in split_fields(masked, tree, open + 1, close) {
+                        let text = squash(&scanned.masked[s..e]);
+                        if text.is_empty() {
+                            continue;
+                        }
+                        referenced.extend(type_idents(&scanned.masked[s..e]));
+                        fields.push(text);
+                    }
+                }
+                let (line, _) = scanned.line_col(item.span.0);
+                defs.push(TypeDef {
+                    krate: krate.to_string(),
+                    name: item.name.clone(),
+                    file: rel.to_string(),
+                    line,
+                    kind,
+                    fields,
+                    referenced,
+                });
+            }
+            ItemKind::TypeAlias => {
+                if item.name.is_empty() {
+                    continue;
+                }
+                let text = &scanned.masked[item.span.0..item.span.1.min(scanned.masked.len())];
+                let Some(eq) = text.find('=') else { continue };
+                let rhs = text[eq + 1..].trim_end_matches(';');
+                let (line, _) = scanned.line_col(item.span.0);
+                defs.push(TypeDef {
+                    krate: krate.to_string(),
+                    name: item.name.clone(),
+                    file: rel.to_string(),
+                    line,
+                    kind: "alias",
+                    fields: vec![squash(rhs)],
+                    referenced: type_idents(rhs),
+                });
+            }
+            ItemKind::Const if item.name == "CHECKPOINT_VERSION" => {
+                let text = &scanned.masked[item.span.0..item.span.1.min(scanned.masked.len())];
+                if let Some(eq) = text.find('=') {
+                    let digits: String =
+                        text[eq + 1..].chars().filter(char::is_ascii_digit).collect();
+                    version = digits.parse().ok().or(version);
+                }
+            }
+            _ => {}
+        }
+    }
+    (defs, version)
+}
+
+/// Build the snapshot: reachable closure of [`SCHEMA_ROOTS`] over `defs`.
+/// `None` when no root type exists at all (synthetic trees without
+/// checkpoints skip the schema pass entirely).
+#[must_use]
+pub fn snapshot(defs: &[TypeDef], checkpoint_version: u32) -> Option<SchemaSnapshot> {
+    let mut queue: Vec<usize> = Vec::new();
+    let mut visited = vec![false; defs.len()];
+    for (i, d) in defs.iter().enumerate() {
+        if SCHEMA_ROOTS.contains(&d.name.as_str()) {
+            visited[i] = true;
+            queue.push(i);
+        }
+    }
+    if queue.is_empty() {
+        return None;
+    }
+    while let Some(i) = queue.pop() {
+        let here = &defs[i];
+        for ident in &here.referenced {
+            let matches: Vec<usize> =
+                defs.iter().enumerate().filter(|(_, d)| &d.name == ident).map(|(j, _)| j).collect();
+            // Prefer a same-crate definition; otherwise take every match
+            // (conservative: ambiguity widens the fingerprint).
+            let same: Vec<usize> =
+                matches.iter().copied().filter(|&j| defs[j].krate == here.krate).collect();
+            for j in if same.is_empty() { matches } else { same } {
+                if !visited[j] {
+                    visited[j] = true;
+                    queue.push(j);
+                }
+            }
+        }
+    }
+
+    let mut types: Vec<TypeFingerprint> = defs
+        .iter()
+        .zip(&visited)
+        .filter(|(_, v)| **v)
+        .map(|(d, _)| {
+            let payload = format!("{} {}\n{}", d.kind, d.name, d.fields.join("\n"));
+            TypeFingerprint {
+                krate: d.krate.clone(),
+                name: d.name.clone(),
+                hash: format!("{:016x}", fnv64(&payload)),
+                fields: d.fields.clone(),
+                file: d.file.clone(),
+                line: d.line,
+            }
+        })
+        .collect();
+    types.sort_by(|a, b| (&a.krate, &a.name).cmp(&(&b.krate, &b.name)));
+    let lines: Vec<String> =
+        types.iter().map(|t| format!("{}::{}={}", t.krate, t.name, t.hash)).collect();
+    let root_hash = format!("{:016x}", fnv64(&lines.join("\n")));
+    Some(SchemaSnapshot { checkpoint_version, root_hash, types })
+}
+
+fn schema_finding(path: &str, line: usize, message: String) -> Finding {
+    Finding {
+        rule: "schema-drift",
+        severity: Severity::Error,
+        path: path.to_string(),
+        line,
+        col: 1,
+        message,
+        excerpt: String::new(),
+        item: None,
+    }
+}
+
+/// Compare the current snapshot against the committed one and produce
+/// gate findings. `version_found` is whether a `CHECKPOINT_VERSION` const
+/// was located anywhere in the tree.
+#[must_use]
+pub fn compare(
+    committed: Option<&SchemaSnapshot>,
+    current: &SchemaSnapshot,
+    version_found: bool,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !version_found {
+        findings.push(schema_finding(
+            SCHEMA_PATH,
+            1,
+            "checkpoint roots exist but no `CHECKPOINT_VERSION` const was \
+             found; the schema gate needs a version to ratchet against"
+                .to_string(),
+        ));
+        return findings;
+    }
+    let Some(committed) = committed else {
+        findings.push(schema_finding(
+            SCHEMA_PATH,
+            1,
+            format!(
+                "checkpoint types found but {SCHEMA_PATH} is missing; run \
+                 `taskdrop_lint --update-schema` and commit the fingerprints"
+            ),
+        ));
+        return findings;
+    };
+    if committed.checkpoint_version != current.checkpoint_version {
+        if committed.root_hash == current.root_hash {
+            findings.push(schema_finding(
+                SCHEMA_PATH,
+                1,
+                format!(
+                    "CHECKPOINT_VERSION changed ({} -> {}) but the schema \
+                     fingerprints are unchanged; refresh {SCHEMA_PATH} with \
+                     `--update-schema` (or drop the needless bump)",
+                    committed.checkpoint_version, current.checkpoint_version
+                ),
+            ));
+        } else {
+            findings.push(schema_finding(
+                SCHEMA_PATH,
+                1,
+                format!(
+                    "CHECKPOINT_VERSION changed ({} -> {}); refresh the \
+                     committed fingerprints with `taskdrop_lint \
+                     --update-schema` in the same PR",
+                    committed.checkpoint_version, current.checkpoint_version
+                ),
+            ));
+        }
+        return findings;
+    }
+    if committed.root_hash == current.root_hash {
+        return findings;
+    }
+    // Same version, drifted schema: point at every drifted type.
+    for t in &current.types {
+        match committed.get(&t.krate, &t.name) {
+            Some(c) if c.hash == t.hash => {}
+            Some(_) => findings.push(schema_finding(
+                &t.file,
+                t.line,
+                format!(
+                    "checkpoint schema drift: `{}::{}` changed shape without \
+                     a CHECKPOINT_VERSION bump — old checkpoints may no \
+                     longer restore; bump the version and run --update-schema",
+                    t.krate, t.name
+                ),
+            )),
+            None => findings.push(schema_finding(
+                &t.file,
+                t.line,
+                format!(
+                    "checkpoint schema drift: `{}::{}` is newly reachable \
+                     from a checkpoint root without a CHECKPOINT_VERSION \
+                     bump; bump the version and run --update-schema",
+                    t.krate, t.name
+                ),
+            )),
+        }
+    }
+    for c in &committed.types {
+        if current.get(&c.krate, &c.name).is_none() {
+            findings.push(schema_finding(
+                SCHEMA_PATH,
+                1,
+                format!(
+                    "checkpoint schema drift: `{}::{}` is no longer reachable \
+                     from a checkpoint root without a CHECKPOINT_VERSION \
+                     bump; bump the version and run --update-schema",
+                    c.krate, c.name
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::segment;
+    use crate::lexer::scan;
+    use crate::ttree::TokenTree;
+
+    fn collect_src(rel: &str, krate: &str, src: &str) -> (Vec<TypeDef>, Option<u32>) {
+        let scanned = scan(src);
+        let tree = TokenTree::build(&scanned.masked);
+        let items = segment(&scanned, &tree);
+        collect(rel, krate, &scanned, &tree, &items)
+    }
+
+    const SIM_SRC: &str = "\
+pub const CHECKPOINT_VERSION: u32 = 3;\n\
+pub type Tick = u64;\n\
+#[derive(Debug, Clone, Serialize, Deserialize)]\n\
+pub struct Inner { pub a: u8, pub when: Tick }\n\
+#[derive(Debug, Clone, Serialize, Deserialize)]\n\
+pub struct Checkpoint {\n\
+    pub version: u32,\n\
+    #[serde(default)]\n\
+    pub inner: Vec<Inner>,\n\
+}\n\
+#[derive(Debug, Serialize, Deserialize)]\n\
+pub struct Unrelated { pub z: u8 }\n\
+#[cfg(test)]\n\
+mod tests { pub struct Checkpoint { pub fake: u8 } }\n";
+
+    #[test]
+    fn collect_finds_serde_types_version_and_skips_tests() {
+        let (defs, version) = collect_src("crates/sim/src/cp.rs", "sim", SIM_SRC);
+        assert_eq!(version, Some(3));
+        let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"Checkpoint"));
+        assert!(names.contains(&"Inner"));
+        assert!(names.contains(&"Tick"), "aliases are collected: {names:?}");
+        assert_eq!(names.iter().filter(|n| **n == "Checkpoint").count(), 1, "test mod skipped");
+        let cp = defs.iter().find(|d| d.name == "Checkpoint").unwrap();
+        assert_eq!(cp.fields.len(), 2);
+        assert!(cp.fields[1].contains("#[serde(default)]"), "{:?}", cp.fields);
+        assert!(cp.referenced.iter().any(|r| r == "Inner"));
+    }
+
+    #[test]
+    fn snapshot_reaches_transitively_and_skips_unrelated() {
+        let (defs, version) = collect_src("crates/sim/src/cp.rs", "sim", SIM_SRC);
+        let snap = snapshot(&defs, version.unwrap()).unwrap();
+        let names: Vec<&str> = snap.types.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["Checkpoint", "Inner", "Tick"], "sorted, closed, no Unrelated");
+        assert_eq!(snap.checkpoint_version, 3);
+    }
+
+    #[test]
+    fn no_roots_means_no_snapshot() {
+        let (defs, _) = collect_src(
+            "crates/x/src/lib.rs",
+            "x",
+            "#[derive(Serialize)]\nstruct Plain { a: u8 }\n",
+        );
+        assert!(snapshot(&defs, 1).is_none());
+    }
+
+    #[test]
+    fn field_mutation_changes_exactly_that_fingerprint() {
+        let (defs, _) = collect_src("crates/sim/src/cp.rs", "sim", SIM_SRC);
+        let before = snapshot(&defs, 3).unwrap();
+        let mutated = SIM_SRC.replace("pub a: u8", "pub a: u16");
+        let (defs2, _) = collect_src("crates/sim/src/cp.rs", "sim", &mutated);
+        let after = snapshot(&defs2, 3).unwrap();
+        assert_ne!(before.root_hash, after.root_hash);
+        assert_ne!(
+            before.get("sim", "Inner").unwrap().hash,
+            after.get("sim", "Inner").unwrap().hash
+        );
+        assert_eq!(
+            before.get("sim", "Checkpoint").unwrap().hash,
+            after.get("sim", "Checkpoint").unwrap().hash
+        );
+    }
+
+    #[test]
+    fn comments_do_not_perturb_fingerprints() {
+        let (defs, _) = collect_src("crates/sim/src/cp.rs", "sim", SIM_SRC);
+        let before = snapshot(&defs, 3).unwrap();
+        let commented = SIM_SRC.replace("pub a: u8,", "/// docs grew\n    pub a: u8,");
+        // (the field list uses `,`-free last fields; replace is a no-op if
+        // pattern missing — assert the texts differ to keep the test honest)
+        let commented = if commented == SIM_SRC {
+            SIM_SRC.replace("pub version: u32,", "// note\n    pub version: u32,")
+        } else {
+            commented
+        };
+        assert_ne!(commented, SIM_SRC);
+        let (defs2, _) = collect_src("crates/sim/src/cp.rs", "sim", &commented);
+        let after = snapshot(&defs2, 3).unwrap();
+        assert_eq!(before.root_hash, after.root_hash);
+    }
+
+    #[test]
+    fn compare_flags_drift_without_bump_and_demands_refresh_on_bump() {
+        let (defs, _) = collect_src("crates/sim/src/cp.rs", "sim", SIM_SRC);
+        let committed = snapshot(&defs, 3).unwrap();
+        let mutated = SIM_SRC.replace("pub a: u8", "pub a: u16");
+        let (defs2, _) = collect_src("crates/sim/src/cp.rs", "sim", &mutated);
+        let current = snapshot(&defs2, 3).unwrap();
+
+        // Drift, same version: error naming the drifted type.
+        let f = compare(Some(&committed), &current, true);
+        assert!(!f.is_empty());
+        assert!(f.iter().any(|x| x.message.contains("Inner")), "{f:?}");
+
+        // Same shape, same version: clean.
+        assert!(compare(Some(&committed), &committed.clone(), true).is_empty());
+
+        // Bumped version: stale committed file must be refreshed.
+        let bumped = SchemaSnapshot { checkpoint_version: 4, ..current.clone() };
+        let f = compare(Some(&committed), &bumped, true);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("--update-schema"));
+
+        // Missing committed file: error.
+        let f = compare(None, &current, true);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("missing"));
+
+        // No version const anywhere: error.
+        let f = compare(Some(&committed), &current, false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("CHECKPOINT_VERSION"));
+    }
+
+    #[test]
+    fn enum_variants_fingerprint_in_order() {
+        let src = "#[derive(Serialize, Deserialize)]\n\
+                   pub enum TaskFate { Completed { at: u64 }, Dropped(u8), Forfeited }\n\
+                   #[derive(Serialize, Deserialize)]\n\
+                   pub struct Checkpoint { pub fate: TaskFate }\n\
+                   pub const CHECKPOINT_VERSION: u32 = 1;\n";
+        let (defs, v) = collect_src("crates/sim/src/cp.rs", "sim", src);
+        let snap = snapshot(&defs, v.unwrap()).unwrap();
+        let fate = snap.get("sim", "TaskFate").unwrap();
+        assert_eq!(fate.fields.len(), 3);
+        // Reordering variants is drift.
+        let swapped =
+            src.replace("Completed { at: u64 }, Dropped(u8)", "Dropped(u8), Completed { at: u64 }");
+        let (defs2, v2) = collect_src("crates/sim/src/cp.rs", "sim", &swapped);
+        let snap2 = snapshot(&defs2, v2.unwrap()).unwrap();
+        assert_ne!(fate.hash, snap2.get("sim", "TaskFate").unwrap().hash);
+    }
+}

@@ -1,0 +1,212 @@
+//! The token-tree layer: balanced `{}` / `()` / `[]` delimiter trees over a
+//! masked source ([`crate::lexer::scan`]).
+//!
+//! The masking lexer already guarantees that no delimiter inside a comment,
+//! string, raw string or char literal survives into the masked text, so a
+//! plain stack pass recovers the real delimiter structure of the file. The
+//! tree is stored flat — one [`Pair`] per matched delimiter, sorted by open
+//! offset — which is exactly the shape the item segmenter
+//! ([`crate::items`]) needs: *given an opening delimiter, where does it
+//! close?* (answered by [`TokenTree::close_of`] in `O(log n)`).
+//!
+//! **Recovery.** Real trees are linted mid-edit too, so the builder never
+//! panics on malformed input: a stray closer is dropped, a closer that
+//! matches an outer open pops (and closes) the abandoned inner opens at the
+//! closer's position, and anything still open at EOF closes at EOF. The
+//! [`TokenTree::balanced`] flag records whether recovery was needed.
+
+/// Which delimiter family a [`Pair`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `{` … `}`
+    Brace,
+    /// `(` … `)`
+    Paren,
+    /// `[` … `]`
+    Bracket,
+}
+
+impl Delim {
+    fn of_open(b: u8) -> Option<Delim> {
+        match b {
+            b'{' => Some(Delim::Brace),
+            b'(' => Some(Delim::Paren),
+            b'[' => Some(Delim::Bracket),
+            _ => None,
+        }
+    }
+
+    fn of_close(b: u8) -> Option<Delim> {
+        match b {
+            b'}' => Some(Delim::Brace),
+            b')' => Some(Delim::Paren),
+            b']' => Some(Delim::Bracket),
+            _ => None,
+        }
+    }
+}
+
+/// One matched (or recovered) delimiter pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pair {
+    /// Delimiter family.
+    pub delim: Delim,
+    /// Byte offset of the opening delimiter.
+    pub open: usize,
+    /// Byte offset of the closing delimiter (== `open` region end; for
+    /// EOF-recovered pairs this is the source length).
+    pub close: usize,
+    /// Nesting depth at the opener (top level is 0).
+    pub depth: usize,
+}
+
+/// The flat delimiter tree of one masked source.
+#[derive(Debug, Clone)]
+pub struct TokenTree {
+    /// Matched pairs, sorted by `open` offset.
+    pub pairs: Vec<Pair>,
+    /// `false` if any stray closer was dropped or any open delimiter had
+    /// to be recovered (closed early or at EOF).
+    pub balanced: bool,
+}
+
+impl TokenTree {
+    /// Build the delimiter tree of `masked` (the output of
+    /// [`crate::lexer::scan`] — running this over *unmasked* source would
+    /// see delimiters inside strings and comments).
+    #[must_use]
+    pub fn build(masked: &str) -> TokenTree {
+        let bytes = masked.as_bytes();
+        // (delim, open offset, index in pairs) for every currently open pair.
+        let mut stack: Vec<(Delim, usize, usize)> = Vec::new();
+        let mut pairs: Vec<Pair> = Vec::new();
+        let mut balanced = true;
+        for (i, &b) in bytes.iter().enumerate() {
+            if let Some(d) = Delim::of_open(b) {
+                stack.push((d, i, pairs.len()));
+                pairs.push(Pair { delim: d, open: i, close: usize::MAX, depth: stack.len() - 1 });
+            } else if let Some(d) = Delim::of_close(b) {
+                match stack.iter().rposition(|&(sd, _, _)| sd == d) {
+                    Some(pos) => {
+                        if pos != stack.len() - 1 {
+                            // Abandoned inner opens: close them here.
+                            balanced = false;
+                        }
+                        while stack.len() > pos {
+                            let (_, _, idx) = stack.pop().expect("len > pos >= 0");
+                            pairs[idx].close = i;
+                        }
+                    }
+                    // Stray closer with no matching open: drop it.
+                    None => balanced = false,
+                }
+            }
+        }
+        if !stack.is_empty() {
+            balanced = false;
+            for (_, _, idx) in stack {
+                pairs[idx].close = bytes.len();
+            }
+        }
+        TokenTree { pairs, balanced }
+    }
+
+    /// The close offset of the pair opening exactly at `open`.
+    #[must_use]
+    pub fn close_of(&self, open: usize) -> Option<usize> {
+        self.pairs.binary_search_by_key(&open, |p| p.open).ok().map(|i| self.pairs[i].close)
+    }
+
+    /// The innermost pair strictly containing `offset` (open < offset <
+    /// close), if any.
+    #[must_use]
+    pub fn enclosing(&self, offset: usize) -> Option<&Pair> {
+        self.pairs.iter().filter(|p| p.open < offset && offset < p.close).max_by_key(|p| p.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn tree(src: &str) -> TokenTree {
+        TokenTree::build(&scan(src).masked)
+    }
+
+    #[test]
+    fn nested_generics_and_tuples_balance() {
+        let src = "fn f(v: Vec<Vec<(u8, u8)>>) -> [u8; 2] { ([v.len() as u8, 0]) }";
+        let t = tree(src);
+        assert!(t.balanced);
+        // fn params, tuple type, return array, body, paren group, array
+        // literal, and the `v.len()` call.
+        assert_eq!(t.pairs.len(), 7);
+        let body_open = src.find('{').unwrap();
+        assert_eq!(t.close_of(body_open), Some(src.rfind('}').unwrap()));
+    }
+
+    #[test]
+    fn where_clause_brackets_resolve() {
+        let src = "fn g<T>(x: T) -> T where T: AsRef<[u8]> { x }";
+        let t = tree(src);
+        assert!(t.balanced);
+        let arr = src.find('[').unwrap();
+        assert_eq!(t.close_of(arr), Some(src.find(']').unwrap()));
+    }
+
+    #[test]
+    fn delimiters_inside_raw_strings_are_invisible() {
+        let src = r###"macro_rules! m { () => { r#"{ ( [ never closed"# } }"###;
+        let t = tree(src);
+        assert!(t.balanced, "{:?}", t.pairs);
+        // macro body brace pair + () matcher + => {} arm body.
+        assert_eq!(t.pairs.iter().filter(|p| p.delim == Delim::Brace).count(), 2);
+    }
+
+    #[test]
+    fn stray_closer_is_dropped() {
+        let t = tree("fn f() { } }");
+        assert!(!t.balanced);
+        assert_eq!(t.pairs.len(), 2);
+        assert!(t.pairs.iter().all(|p| p.close != usize::MAX));
+    }
+
+    #[test]
+    fn unclosed_open_recovers_at_eof() {
+        let src = "fn f() { let x = (1;";
+        let t = tree(src);
+        assert!(!t.balanced);
+        let brace = t.pairs.iter().find(|p| p.delim == Delim::Brace).unwrap();
+        assert_eq!(brace.close, src.len());
+    }
+
+    #[test]
+    fn outer_closer_recovers_abandoned_inner_open() {
+        // `(` never closes; `}` closes the brace and force-closes the paren.
+        let src = "{ ( }";
+        let t = tree(src);
+        assert!(!t.balanced);
+        let paren = t.pairs.iter().find(|p| p.delim == Delim::Paren).unwrap();
+        assert_eq!(paren.close, 4, "paren closed at the brace's closer");
+        assert_eq!(t.close_of(0), Some(4));
+    }
+
+    #[test]
+    fn enclosing_finds_innermost() {
+        let src = "{ a ( b [ c ] ) }";
+        let t = tree(src);
+        let c = src.find('c').unwrap();
+        assert_eq!(t.enclosing(c).unwrap().delim, Delim::Bracket);
+        let b = src.find('b').unwrap();
+        assert_eq!(t.enclosing(b).unwrap().delim, Delim::Paren);
+        assert!(t.enclosing(0).is_none());
+    }
+
+    #[test]
+    fn depths_count_from_zero() {
+        let t = tree("{ { } }");
+        assert_eq!(t.pairs[0].depth, 0);
+        assert_eq!(t.pairs[1].depth, 1);
+    }
+}

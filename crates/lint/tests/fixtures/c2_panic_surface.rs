@@ -1,0 +1,30 @@
+// Fixture: the generalized panic ratchet counts panic-family macros,
+// slice indexing and unwrap/expect in production code, per rule.
+fn fates(states: &[u8], i: usize) -> u8 {
+    match states[i] {
+        0 => panic!("no fate recorded"),
+        1 => todo!(),
+        2 => states[i.wrapping_sub(1)],
+        _ => unreachable!("fates are 0..=2"),
+    }
+}
+
+fn head(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+fn safe(v: &[u8]) -> Option<u8> {
+    // .get() is the sanctioned form; patterns and types don't count.
+    let [_a, _b] = [0u8; 2];
+    v.get(3).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_free() {
+        let v = [1u8, 2];
+        assert_eq!(v[0], 1);
+        let _ = super::safe(&v).unwrap();
+    }
+}

@@ -83,11 +83,22 @@ fn c1_thread_primitives_fires_and_clears() {
 }
 
 #[test]
-fn c2_serve_unwrap_counts_production_sites_only() {
+fn c2_panic_unwrap_counts_production_sites_only() {
     let r = lint_at("crates/serve/src/x.rs", include_str!("fixtures/c2_serve_unwrap.rs"));
     assert!(r.findings.is_empty(), "ratchet sites are not error findings: {:?}", r.findings);
-    assert_eq!(r.ratchet_sites.len(), 3, "{:?}", r.ratchet_sites);
+    let unwraps: Vec<_> = r.ratchet_sites.iter().filter(|f| f.rule == "panic-unwrap").collect();
+    assert_eq!(unwraps.len(), 3, "{:?}", r.ratchet_sites);
     assert!(r.ratchet_sites.iter().all(|f| f.severity == Severity::Ratchet));
+}
+
+#[test]
+fn c2_panic_surface_fixture_counts_all_three_rules() {
+    let r = lint_at("crates/dag/src/x.rs", include_str!("fixtures/c2_panic_surface.rs"));
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    let count = |rule: &str| r.ratchet_sites.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(count("panic-macro"), 3, "panic! + unreachable! + todo!: {:?}", r.ratchet_sites);
+    assert_eq!(count("slice-index"), 2, "{:?}", r.ratchet_sites);
+    assert_eq!(count("panic-unwrap"), 1, "{:?}", r.ratchet_sites);
 }
 
 #[test]
@@ -158,13 +169,18 @@ fn lexer_torture_yields_exactly_the_one_real_finding() {
 
 #[test]
 fn ratchet_gates_on_increase_only() {
-    let mk =
-        |count, baseline| RatchetStatus { rule: "serve-unwrap", count, baseline, sites: vec![] };
+    let mk = |count, baseline| RatchetStatus {
+        rule: "panic-unwrap",
+        krate: "serve".to_string(),
+        count,
+        baseline,
+        sites: vec![],
+    };
     assert!(mk(4, Some(3)).regressed(), "one new unwrap fails CI");
     assert!(!mk(3, Some(3)).regressed(), "standing debt passes");
     assert!(!mk(2, Some(3)).regressed(), "paying debt passes");
     assert!(mk(2, Some(3)).improvable(), "...and is advertised as tightenable");
-    assert!(!mk(0, None).regressed(), "a debt-free tree needs no baseline");
+    assert!(!mk(0, None).regressed(), "a debt-free crate needs no baseline");
     assert!(mk(1, None).regressed(), "unrecorded debt fails until --update-ratchet");
 }
 
@@ -176,11 +192,15 @@ fn ratchet_file_roundtrips_and_missing_file_is_empty() {
 
     let missing = Ratchet::load(&path).unwrap();
     assert!(missing.entries.is_empty());
-    assert_eq!(missing.get("serve-unwrap"), None);
+    assert_eq!(missing.get("panic-unwrap", "serve"), None);
 
-    Ratchet::from_counts(&[("serve-unwrap", 3)]).save(&path).unwrap();
+    Ratchet::from_counts(&[("panic-unwrap", "serve", 3), ("slice-index", "pmf", 1)])
+        .save(&path)
+        .unwrap();
     let loaded = Ratchet::load(&path).unwrap();
-    assert_eq!(loaded.get("serve-unwrap"), Some(3));
+    assert_eq!(loaded.get("panic-unwrap", "serve"), Some(3));
+    assert_eq!(loaded.get("slice-index", "pmf"), Some(1));
+    assert_eq!(loaded.get("panic-unwrap", "pmf"), None, "counts are per crate");
 
     let malformed = dir.join("bad.json");
     std::fs::write(&malformed, "{not json").unwrap();
@@ -228,13 +248,14 @@ fn ratchet_regression_fails_a_workspace_run() {
     let root = synth_tree("ratchet", &[("crates/serve/src/x.rs", two_unwraps)]);
 
     // Baseline 2: standing debt, passes.
-    let ok = run_workspace(&root, &Ratchet::from_counts(&[("serve-unwrap", 2)])).unwrap();
+    let ok = run_workspace(&root, &Ratchet::from_counts(&[("panic-unwrap", "serve", 2)])).unwrap();
     assert!(!ok.failed(), "{:?}", ok.ratchets);
 
     // Baseline 1: one new unwrap, fails, and the sites are named.
-    let bad = run_workspace(&root, &Ratchet::from_counts(&[("serve-unwrap", 1)])).unwrap();
+    let bad = run_workspace(&root, &Ratchet::from_counts(&[("panic-unwrap", "serve", 1)])).unwrap();
     assert!(bad.failed());
     assert_eq!(bad.ratchets.len(), 1);
+    assert_eq!(bad.ratchets[0].krate, "serve");
     assert_eq!(bad.ratchets[0].count, 2);
     assert_eq!(bad.ratchets[0].sites.len(), 2);
     std::fs::remove_dir_all(&root).ok();
@@ -274,7 +295,9 @@ fn the_repo_itself_is_clean() {
 
 #[test]
 fn every_catalogued_rule_has_a_firing_fixture() {
-    // Meta-test: keep the fixture set honest as rules are added.
+    // Meta-test: keep the fixture set honest as rules are added. The two
+    // structural rules are exercised by `tests/structural.rs` (layering +
+    // schema drift against synthetic trees); the rest fire in this file.
     let fired: Vec<&str> = vec![
         "hash-collections",
         "wall-clock",
@@ -282,10 +305,14 @@ fn every_catalogued_rule_has_a_firing_fixture() {
         "partial-cmp-unwrap",
         "env-read",
         "thread-primitives",
-        "serve-unwrap",
+        "panic-unwrap",
+        "panic-macro",
+        "slice-index",
+        "crate-layering", // tests/structural.rs
+        "schema-drift",   // tests/structural.rs
         "bare-allow",
     ];
     for rule in RULES {
-        assert!(fired.contains(&rule.id), "rule {} has no fixture coverage in this file", rule.id);
+        assert!(fired.contains(&rule.id), "rule {} has no fixture coverage", rule.id);
     }
 }

@@ -1,0 +1,234 @@
+//! Integration tests for the two structural passes: the crate-layering
+//! DAG (checked against the real workspace's manifests) and the
+//! checkpoint-schema fingerprint gate (driven end-to-end through
+//! `run_workspace` on synthetic trees).
+
+use std::path::{Path, PathBuf};
+
+use taskdrop_lint::layering::{check_manifests, manifest_edges, member_crates};
+use taskdrop_lint::{run_workspace, LayeringSpec, Ratchet, Severity, TokenTree};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+// --- crate layering against the real workspace ----------------------------
+
+#[test]
+fn layering_matrix_matches_cargo_metadata() {
+    // The committed layering.json must agree with what the Cargo.tomls
+    // actually declare: every member assigned, no stale entries, every
+    // non-dev edge pointing strictly downward.
+    let root = repo_root();
+    let spec = LayeringSpec::load(&root.join("crates/lint/layering.json"))
+        .expect("readable layering spec")
+        .expect("layering.json is committed");
+    let edges = manifest_edges(&root).expect("manifests readable");
+    let members = member_crates(&root).expect("crates/ listable");
+    assert!(!edges.is_empty(), "no taskdrop_* manifest edges found — parser broken?");
+    assert!(members.len() >= 10, "workspace members missing: {members:?}");
+
+    let findings = check_manifests(&spec, &edges, &members);
+    assert!(
+        findings.is_empty(),
+        "layering spec disagrees with Cargo metadata:\n{}",
+        findings.iter().map(taskdrop_lint::Finding::render).collect::<Vec<_>>().join("\n")
+    );
+
+    // Spot-check the intended shape: leaf math below the engine, engine
+    // below serving, umbrella on top.
+    let layer = |k: &str| spec.get(k).unwrap_or_else(|| panic!("`{k}` missing from spec"));
+    assert!(layer("pmf") < layer("model"));
+    assert!(layer("model") < layer("sim"));
+    assert!(layer("sim") < layer("serve"));
+    assert!(layer("serve") < layer("taskdrop"));
+    assert!(layer("dag") < layer("taskdrop"));
+}
+
+#[test]
+fn the_whole_tree_is_delimiter_balanced() {
+    // The token-tree layer must parse every real source file without
+    // recovery — if this fails, either a file is genuinely malformed or
+    // the lexer/ttree stack has a masking hole.
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        for path in entries.filter_map(Result::ok).map(|e| e.path()) {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name != "target" && name != "fixtures" && name != "vendor" {
+                    walk(&path, out);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    walk(&repo_root().join("crates"), &mut files);
+    walk(&repo_root().join("src"), &mut files);
+    assert!(files.len() > 30, "walk looks broken: {} files", files.len());
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let tree = TokenTree::build(&taskdrop_lint::scan(&src).masked);
+        assert!(tree.balanced, "unbalanced delimiters (or masking hole) in {}", path.display());
+    }
+}
+
+// --- synthetic trees ------------------------------------------------------
+
+fn synth_tree(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("taskdrop-structural-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    for (rel, content) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, content).unwrap();
+    }
+    root
+}
+
+fn error_renders(report: &taskdrop_lint::Report) -> Vec<String> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(taskdrop_lint::Finding::render)
+        .collect()
+}
+
+#[test]
+fn upward_edges_fail_in_manifests_and_source() {
+    let spec = r#"{"layers": [
+        {"krate": "core", "layer": 0},
+        {"krate": "serve", "layer": 1},
+        {"krate": "taskdrop", "layer": 2}
+    ]}"#;
+    let core_toml = "[package]\nname = \"taskdrop_core\"\n\n\
+                     [dependencies]\ntaskdrop_serve = { path = \"../serve\" }\n";
+    let root = synth_tree(
+        "layering",
+        &[
+            ("crates/lint/layering.json", spec),
+            ("crates/core/Cargo.toml", core_toml),
+            ("crates/core/src/lib.rs", "use taskdrop_serve::Shard;\npub fn f() {}\n"),
+            ("crates/serve/Cargo.toml", "[package]\nname = \"taskdrop_serve\"\n"),
+            ("crates/serve/src/lib.rs", "pub struct Shard;\n"),
+        ],
+    );
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(report.failed());
+    let layering: Vec<_> = report.findings.iter().filter(|f| f.rule == "crate-layering").collect();
+    // One manifest edge + one source edge, both upward.
+    assert!(
+        layering.iter().any(|f| f.path == "crates/core/Cargo.toml"),
+        "manifest edge not flagged: {layering:?}"
+    );
+    assert!(
+        layering.iter().any(|f| f.path == "crates/core/src/lib.rs"),
+        "source edge not flagged: {layering:?}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+const CHECKPOINT_SRC: &str = "\
+pub const CHECKPOINT_VERSION: u32 = 1;\n\
+#[derive(Serialize, Deserialize)]\n\
+pub struct Checkpoint {\n\
+    pub version: u32,\n\
+    pub tick: u64,\n\
+}\n";
+
+#[test]
+fn schema_gate_blocks_drift_without_a_version_bump() {
+    let root = synth_tree("schema", &[("crates/sim/src/checkpoint.rs", CHECKPOINT_SRC)]);
+    let schema_path = root.join("crates/lint/schema.json");
+    std::fs::create_dir_all(schema_path.parent().unwrap()).unwrap();
+
+    // 1. No committed fingerprints yet: the gate demands --update-schema.
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(report.failed());
+    assert!(
+        report.findings.iter().any(|f| f.rule == "schema-drift" && f.message.contains("missing")),
+        "{:?}",
+        report.findings
+    );
+
+    // 2. Commit the fingerprints (what --update-schema does): clean run.
+    report.schema_current.as_ref().expect("roots found").save(&schema_path).unwrap();
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(!report.failed(), "{:?}", error_renders(&report));
+
+    // 3. Mutate a checkpoint field without bumping the version: the gate
+    //    fails, naming the drifted type.
+    std::fs::write(
+        root.join("crates/sim/src/checkpoint.rs"),
+        CHECKPOINT_SRC.replace("pub tick: u64", "pub tick: u32"),
+    )
+    .unwrap();
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(report.failed());
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == "schema-drift"
+                && f.path == "crates/sim/src/checkpoint.rs"
+                && f.message.contains("Checkpoint")
+        }),
+        "{:?}",
+        report.findings
+    );
+
+    // 4. Bump CHECKPOINT_VERSION alongside the change: one finding, which
+    //    asks for --update-schema rather than flagging per-type drift.
+    std::fs::write(
+        root.join("crates/sim/src/checkpoint.rs"),
+        CHECKPOINT_SRC
+            .replace("pub tick: u64", "pub tick: u32")
+            .replace("CHECKPOINT_VERSION: u32 = 1", "CHECKPOINT_VERSION: u32 = 2"),
+    )
+    .unwrap();
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    let schema: Vec<_> = report.findings.iter().filter(|f| f.rule == "schema-drift").collect();
+    assert_eq!(schema.len(), 1, "{schema:?}");
+    assert!(schema[0].message.contains("--update-schema"));
+
+    // 5. Refresh the committed file at the new version: clean again.
+    report.schema_current.as_ref().unwrap().save(&schema_path).unwrap();
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(!report.failed(), "{:?}", error_renders(&report));
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn conflicting_version_consts_are_an_error() {
+    let root = synth_tree(
+        "schema-conflict",
+        &[
+            ("crates/sim/src/checkpoint.rs", CHECKPOINT_SRC),
+            ("crates/serve/src/lib.rs", "pub const CHECKPOINT_VERSION: u32 = 7;\n"),
+        ],
+    );
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "schema-drift" && f.message.contains("conflicting")),
+        "{:?}",
+        report.findings
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn trees_without_checkpoint_roots_skip_the_schema_pass() {
+    let root = synth_tree(
+        "schema-none",
+        &[("crates/pmf/src/lib.rs", "pub fn mass(x: u64) -> u64 { x + 1 }\n")],
+    );
+    let report = run_workspace(&root, &Ratchet::default()).unwrap();
+    assert!(report.schema_current.is_none());
+    assert!(!report.failed(), "{:?}", error_renders(&report));
+    std::fs::remove_dir_all(&root).ok();
+}

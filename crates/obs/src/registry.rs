@@ -208,6 +208,7 @@ impl MetricsRegistry {
         let key = MetricKey::new(name, labels);
         match self.metrics.entry(key).or_insert(Metric::Counter(0)) {
             Metric::Counter(v) => *v += delta,
+            // lint:allow(panic-macro): metric-type confusion is deterministic API misuse, caught on first touch in any test
             other => panic!("{name} is not a counter: {other:?}"),
         }
     }
@@ -227,6 +228,7 @@ impl MetricsRegistry {
                 assert!(value >= *v, "{name} would decrease: {} -> {value}", *v);
                 *v = value;
             }
+            // lint:allow(panic-macro): metric-type confusion is deterministic API misuse, caught on first touch in any test
             other => panic!("{name} is not a counter: {other:?}"),
         }
     }
@@ -240,6 +242,7 @@ impl MetricsRegistry {
         let key = MetricKey::new(name, labels);
         match self.metrics.entry(key).or_insert(Metric::Gauge(value)) {
             Metric::Gauge(v) => *v = value,
+            // lint:allow(panic-macro): metric-type confusion is deterministic API misuse, caught on first touch in any test
             other => panic!("{name} is not a gauge: {other:?}"),
         }
     }
@@ -258,6 +261,7 @@ impl MetricsRegistry {
                 assert_eq!(h.bounds(), bounds, "{name} re-registered with different buckets");
                 h.observe(value);
             }
+            // lint:allow(panic-macro): metric-type confusion is deterministic API misuse, caught on first touch in any test
             other => panic!("{name} is not a histogram: {other:?}"),
         }
     }

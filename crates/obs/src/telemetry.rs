@@ -91,6 +91,7 @@ struct TelemetryInner {
 
 impl TelemetryInner {
     fn push_record<T: Serialize>(&mut self, rec: &T) {
+        // lint:allow(panic-unwrap): derived Serialize on plain record structs is infallible
         let line = serde_json::to_string(rec).expect("telemetry records always serialize");
         self.jsonl.push_str(&line);
         self.jsonl.push('\n');
@@ -371,6 +372,7 @@ impl Telemetry {
         let result = inner
             .rollups
             .get(scope)
+            // lint:allow(panic-macro): documented misuse panic — finishing a scope that was never attached is a caller bug, not a runtime state
             .unwrap_or_else(|| panic!("scope {scope:?} has no rollup (use Telemetry::attach)"))
             .result()?;
         inner.push_record(&RollupRecord {

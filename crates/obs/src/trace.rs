@@ -88,6 +88,7 @@ impl SpanTracker {
                 | SimEvent::Killed { now, .. }
                 | SimEvent::Dropped { now, .. }
                 | SimEvent::MachineFailed { now, .. } => now,
+                // lint:allow(panic-macro): resolved() returned Some, so ev is one of the four terminal variants matched above
                 _ => unreachable!("resolved() only matches terminal events"),
             };
             let mut span = self.open.remove(&task.0)?;

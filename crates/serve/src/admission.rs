@@ -199,8 +199,9 @@ impl AdmissionController {
         if self.queue.len() >= self.capacity {
             match self.policy {
                 BackpressurePolicy::ShedOldest => {
-                    let oldest = self.queue.pop_front().expect("full queue has a head");
-                    self.record_refusal(&oldest, AdmissionDropKind::ShedOldest, core);
+                    if let Some(oldest) = self.queue.pop_front() {
+                        self.record_refusal(&oldest, AdmissionDropKind::ShedOldest, core);
+                    }
                 }
                 BackpressurePolicy::Reject | BackpressurePolicy::PreDrop { .. } => {
                     return self.turn_away(task, AdmissionDropKind::RejectedFull, core);

@@ -206,11 +206,8 @@ impl<'a> Shard<'a> {
     /// Any error from [`AdmissionController::drain_due`].
     pub fn advance_to(&mut self, until: Tick) -> Result<StepOutcome, SimError> {
         let mut tails: Option<QueueTails> = None;
-        while let Some(next) = self.source.peek() {
-            if next.arrival > until {
-                break;
-            }
-            let task = self.source.pop().expect("peeked offer");
+        while self.source.peek().is_some_and(|next| next.arrival <= until) {
+            let Some(task) = self.source.pop() else { break };
             if tails.is_none()
                 && matches!(self.admission.policy(), BackpressurePolicy::PreDrop { .. })
             {
@@ -235,8 +232,7 @@ impl<'a> Shard<'a> {
             admission: self.admission.clone(),
             flight: self.flight.as_ref().map(FlightRecorder::snapshot),
         };
-        self.last_checkpoint = Some(cp);
-        self.last_checkpoint.as_ref().expect("just stored")
+        self.last_checkpoint.insert(cp)
     }
 
     /// Discards the live state and rebuilds the shard from `checkpoint`
