@@ -65,7 +65,7 @@ pub fn classify(rel: &str) -> Option<FileClass> {
 const SIM_PATH: &[&str] = &[
     "pmf", "stats", "model", "sched", "core", "workload", "sim", "obs", "serve", "dag", "taskdrop",
 ];
-const CONCURRENCY_CORE: &[&str] = &["sim", "model", "core", "pmf", "dag"];
+const CONCURRENCY_CORE: &[&str] = &["sim", "model", "core", "pmf", "dag", "serve"];
 
 impl Scope {
     /// Does this scope cover `class`'s crate?
@@ -508,7 +508,10 @@ mod tests {
         assert!(Scope::NonBench.covers(&lint));
         assert!(Scope::ConcurrencyCore.covers(&pmf));
         assert!(Scope::ConcurrencyCore.covers(&dag));
-        assert!(!Scope::ConcurrencyCore.covers(&serve));
+        // serve joined the concurrency core when the fleet driver landed:
+        // its engine modules must stay thread-free, and the few driver
+        // threading sites (worker-pool sizing) carry reasoned pragmas.
+        assert!(Scope::ConcurrencyCore.covers(&serve));
         assert!(Scope::Everywhere.covers(&bench));
     }
 
@@ -616,6 +619,32 @@ mod tests {
         let r = check_source("crates/sim/tests/t.rs", "fn f() { let r = thread_rng(); }");
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].rule, "entropy-rng");
+    }
+
+    /// serve is concurrency-core scoped: bare thread primitives in its
+    /// engine modules are errors, and the fleet driver's sole threading
+    /// site (worker-pool sizing) must carry a reasoned pragma to pass.
+    #[test]
+    fn serve_threading_needs_a_reasoned_pragma() {
+        let bare = "fn workers() -> usize {\n\
+                    \x20   std::thread::available_parallelism().map_or(1, |n| n.get())\n\
+                    }\n";
+        let r = check_source("crates/serve/src/fleet.rs", bare);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "thread-primitives");
+
+        let allowed = "fn workers() -> usize {\n\
+                       \x20   // lint:allow(thread-primitives): sizes the worker pool only\n\
+                       \x20   std::thread::available_parallelism().map_or(1, |n| n.get())\n\
+                       }\n";
+        let r = check_source("crates/serve/src/fleet.rs", allowed);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+
+        // Engine crates stay thread-free with no pragma escape hatch in
+        // spirit: the same bare call is still an error in sim.
+        let r = check_source("crates/sim/src/core.rs", bare);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "thread-primitives");
     }
 
     #[test]

@@ -111,9 +111,9 @@ pub const RULES: &[Rule] = &[
         in_tests: false,
         dedup_per_line: true,
         summary: "C1: no std::thread::spawn / std::sync::{Mutex,RwLock,..} in \
-                  sim/model/core/pmf/dag — threading is reserved for the \
-                  driver's deterministic merge layer via the vendored \
-                  crossbeam",
+                  sim/model/core/pmf/dag/serve — threading is reserved for \
+                  the fleet driver's deterministic merge layer via the \
+                  vendored crossbeam",
     },
     Rule {
         id: "panic-unwrap",

@@ -153,7 +153,11 @@ fn scope_confines_d1_to_sim_path_and_c1_to_the_core() {
     assert!(!lint_at("src/x.rs", hash).findings.is_empty(), "umbrella is sim-path");
 
     let threads = include_str!("fixtures/c1_thread_primitives_pos.rs");
-    assert!(lint_at("crates/serve/src/x.rs", threads).findings.is_empty(), "serve may thread");
+    // serve joined the concurrency core with the fleet driver: bare thread
+    // primitives are errors there too, and only reasoned pragmas (the
+    // driver's worker-pool sizing) are let through.
+    assert!(!lint_at("crates/serve/src/x.rs", threads).findings.is_empty(), "serve is core");
+    assert!(lint_at("crates/stats/src/x.rs", threads).findings.is_empty(), "stats may thread");
     assert!(!lint_at("crates/pmf/src/x.rs", threads).findings.is_empty());
 }
 

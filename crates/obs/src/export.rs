@@ -52,6 +52,15 @@ pub struct ShardEpoch {
     pub total_tasks: u64,
     /// Tasks with a terminal fate.
     pub resolved_tasks: u64,
+    /// Cumulative queued offers received from sibling shards at epoch
+    /// barriers (fleet work stealing; absent in records from older
+    /// builds — `default` keeps them loading).
+    #[serde(default)]
+    pub stolen_in: u64,
+    /// Cumulative queued offers donated to sibling shards at epoch
+    /// barriers.
+    #[serde(default)]
+    pub stolen_out: u64,
 }
 
 /// `record: "epoch"` — one `ServiceDriver` epoch across the fleet.

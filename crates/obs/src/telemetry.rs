@@ -14,8 +14,8 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use taskdrop_pmf::Tick;
 use taskdrop_sim::{
-    AdmissionDropKind, DropKind, ForfeitKind, MetricsObserver, SimCore, SimError, SimEvent,
-    SimReport, TaskFate, TrialResult,
+    AdmissionDropKind, DropKind, ForfeitKind, MetricsObserver, MigrationKind, SimCore, SimError,
+    SimEvent, SimReport, TaskFate, TrialResult,
 };
 
 /// Fixed buckets for the `task_turnaround_ticks` histogram (arrival →
@@ -56,6 +56,8 @@ fn event_kind(ev: &SimEvent) -> &'static str {
         SimEvent::MappingRound { .. } => "mapping_round",
         SimEvent::AdmissionDropped { .. } => "admission_dropped",
         SimEvent::CascadeForfeited { .. } => "cascade_forfeited",
+        SimEvent::TaskMigrated { kind: MigrationKind::Donated, .. } => "migrated_out",
+        SimEvent::TaskMigrated { kind: MigrationKind::Received, .. } => "migrated_in",
         _ => "other",
     }
 }
@@ -126,6 +128,17 @@ impl TelemetryInner {
                 &[("scope", scope), ("kind", forfeit_kind_str(*kind))],
                 1,
             ),
+            SimEvent::TaskMigrated { kind, .. } => {
+                let direction = match kind {
+                    MigrationKind::Donated => "out",
+                    MigrationKind::Received => "in",
+                };
+                self.registry.counter_add(
+                    "tasks_migrated_total",
+                    &[("scope", scope), ("direction", direction)],
+                    1,
+                );
+            }
             _ => {}
         }
         let tracker = self.trackers.entry(scope.to_string()).or_default();
@@ -236,6 +249,20 @@ impl Telemetry {
         });
     }
 
+    /// Feeds one engine event into `scope`'s counters, spans and
+    /// histograms *without* an attached observer — the entry point for
+    /// drivers that buffer events off-thread (the parallel fleet's
+    /// [`EventRelay`](taskdrop_sim::EventRelay) hubs) and hand them over
+    /// at a single-threaded epoch barrier. Equivalent to the
+    /// [`Telemetry::attach_counters`] path event-for-event: feeding a
+    /// relay's buffer in order produces the same pipeline state as having
+    /// observed the events live, which is what keeps fleet telemetry
+    /// byte-identical at any worker count. No rollup is maintained
+    /// (at-least-once semantics, as with `attach_counters`).
+    pub fn scope_event(&self, scope: &str, ev: &SimEvent) {
+        self.inner.borrow_mut().observe_event(scope, ev, false);
+    }
+
     /// Flattens the registry into the time series at virtual time `t`
     /// and emits the matching `sample` JSONL record.
     pub fn sample(&self, t: Tick) {
@@ -301,6 +328,10 @@ impl Telemetry {
             inner.registry.counter_set("admission_offered_total", &label, shard.offered);
             inner.registry.counter_set("admission_admitted_total", &label, shard.admitted);
             inner.registry.counter_set("admission_turned_away_total", &label, shard.turned_away);
+            if shard.stolen_in > 0 || shard.stolen_out > 0 {
+                inner.registry.counter_set("shard_stolen_in_total", &label, shard.stolen_in);
+                inner.registry.counter_set("shard_stolen_out_total", &label, shard.stolen_out);
+            }
         }
         inner.push_record(epoch);
         inner.sample(epoch.to);

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use taskdrop_model::{MachineTypeId, PetMatrix, TaskId};
 use taskdrop_pmf::{ChainScratch, Pmf, Tick};
-use taskdrop_sim::{AdmissionDropKind, SimCore, SimError, SimEvent};
+use taskdrop_sim::{AdmissionDropKind, ObserverHub, SimCore, SimError, SimEvent};
 use taskdrop_workload::OfferedTask;
 
 /// What to do when the bounded ingress queue cannot absorb an offer.
@@ -50,7 +50,9 @@ pub enum BackpressurePolicy {
 }
 
 /// Per-policy admission accounting. `offered` is conserved:
-/// `offered = admitted + turned_away() + still queued`.
+/// `offered + stolen_in = admitted + turned_away() + still queued + stolen_out`
+/// (the two `stolen_*` terms are zero outside a work-stealing fleet, which
+/// reduces to the familiar `offered = admitted + turned_away() + queued`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AdmissionStats {
     /// Tasks offered to the controller.
@@ -69,6 +71,13 @@ pub struct AdmissionStats {
     /// misconfigured traffic source).
     #[serde(default)]
     pub invalid: u64,
+    /// Queued offers that arrived from another shard's ingress queue
+    /// (work stealing at a fleet epoch barrier).
+    #[serde(default)]
+    pub stolen_in: u64,
+    /// Queued offers donated to another shard's ingress queue.
+    #[serde(default)]
+    pub stolen_out: u64,
 }
 
 impl AdmissionStats {
@@ -156,7 +165,11 @@ impl AdmissionController {
     /// to; admission never mutates the trial itself. When offering a whole
     /// batch against an unmoving core (a shard epoch), capture the tails
     /// once and use [`AdmissionController::offer_with`] instead.
-    pub fn offer(&mut self, task: OfferedTask, core: &mut SimCore<'_>) -> AdmissionOutcome {
+    pub fn offer<H: ObserverHub>(
+        &mut self,
+        task: OfferedTask,
+        core: &mut SimCore<'_, H>,
+    ) -> AdmissionOutcome {
         self.offer_impl(task, core, None)
     }
 
@@ -165,19 +178,19 @@ impl AdmissionController {
     /// core has not advanced since [`QueueTails::capture`] — identical
     /// decisions, O(machines + offers) instead of O(offers × machines)
     /// chain convolutions per batch.
-    pub fn offer_with(
+    pub fn offer_with<H: ObserverHub>(
         &mut self,
         task: OfferedTask,
-        core: &mut SimCore<'_>,
+        core: &mut SimCore<'_, H>,
         tails: &mut QueueTails,
     ) -> AdmissionOutcome {
         self.offer_impl(task, core, Some(tails))
     }
 
-    fn offer_impl(
+    fn offer_impl<H: ObserverHub>(
         &mut self,
         task: OfferedTask,
-        core: &mut SimCore<'_>,
+        core: &mut SimCore<'_, H>,
         tails: Option<&mut QueueTails>,
     ) -> AdmissionOutcome {
         self.stats.offered += 1;
@@ -231,10 +244,10 @@ impl AdmissionController {
     /// core's scenario lacks; the offer is consumed and counted as
     /// [`AdmissionStats::invalid`], preserving the `offered` conservation
     /// identity.
-    pub fn admit_now(
+    pub fn admit_now<H: ObserverHub>(
         &mut self,
         task: OfferedTask,
-        core: &mut SimCore<'_>,
+        core: &mut SimCore<'_, H>,
     ) -> Result<Option<TaskId>, SimError> {
         self.stats.offered += 1;
         let arrival = task.arrival.max(core.now());
@@ -273,7 +286,11 @@ impl AdmissionController {
     /// core's scenario lacks (a misconfigured traffic source); the failing
     /// offer is consumed and counted as [`AdmissionStats::invalid`], so
     /// the `offered` conservation identity survives the error.
-    pub fn drain_due(&mut self, core: &mut SimCore<'_>, until: Tick) -> Result<usize, SimError> {
+    pub fn drain_due<H: ObserverHub>(
+        &mut self,
+        core: &mut SimCore<'_, H>,
+        until: Tick,
+    ) -> Result<usize, SimError> {
         let mut injected = 0;
         while let Some(&front) = self.queue.front() {
             if front.arrival > until {
@@ -297,14 +314,47 @@ impl AdmissionController {
         Ok(injected)
     }
 
+    /// Removes up to `count` offers from the **back** of the ingress queue
+    /// for migration to another shard (fleet work stealing). The newest
+    /// offers are taken — they have waited least and are the least likely
+    /// to be due imminently — and because the queue holds offers in
+    /// nondecreasing arrival order, removing a suffix preserves that
+    /// invariant on both sides. The removed offers are returned in arrival
+    /// order and counted as [`AdmissionStats::stolen_out`].
+    pub fn release_for_steal(&mut self, count: usize) -> Vec<OfferedTask> {
+        let keep = self.queue.len().saturating_sub(count);
+        let offers: Vec<OfferedTask> = self.queue.split_off(keep).into();
+        self.stats.stolen_out += offers.len() as u64;
+        offers
+    }
+
+    /// Merges offers stolen from another shard into this queue, keeping it
+    /// sorted by arrival (a plain `push_back` could strand an already-due
+    /// migrant behind later local arrivals and starve
+    /// [`AdmissionController::drain_due`]'s in-order scan). Counted as
+    /// [`AdmissionStats::stolen_in`]. The steal planner never moves more
+    /// offers than the receiver has free slots, so the bound holds by
+    /// construction (debug-asserted).
+    pub fn accept_stolen(&mut self, offers: &[OfferedTask]) {
+        for &offer in offers {
+            let at = self.queue.partition_point(|q| q.arrival <= offer.arrival);
+            self.queue.insert(at, offer);
+        }
+        self.stats.stolen_in += offers.len() as u64;
+        debug_assert!(
+            self.queue.len() <= self.capacity,
+            "steal planner overfilled the receiving ingress queue"
+        );
+    }
+
     /// The single refusal bookkeeper: every turned-away offer — rejected,
     /// shed, pre-dropped or expired — bumps its counter and reaches the
     /// observers through here, so stats and stream cannot drift apart.
-    fn record_refusal(
+    fn record_refusal<H: ObserverHub>(
         &mut self,
         task: &OfferedTask,
         kind: AdmissionDropKind,
-        core: &mut SimCore<'_>,
+        core: &mut SimCore<'_, H>,
     ) {
         match kind {
             AdmissionDropKind::RejectedFull => self.stats.rejected_full += 1,
@@ -316,11 +366,11 @@ impl AdmissionController {
         core.notify_observers(&admission_dropped(task, core.now(), kind));
     }
 
-    fn turn_away(
+    fn turn_away<H: ObserverHub>(
         &mut self,
         task: OfferedTask,
         kind: AdmissionDropKind,
-        core: &mut SimCore<'_>,
+        core: &mut SimCore<'_, H>,
     ) -> AdmissionOutcome {
         self.record_refusal(&task, kind, core);
         AdmissionOutcome::TurnedAway(kind)
@@ -360,7 +410,7 @@ impl QueueTails {
     /// `&mut` — hit/miss counters advance), so capturing against unmoved
     /// queues re-chains nothing.
     #[must_use]
-    pub fn capture(core: &mut SimCore<'_>) -> Self {
+    pub fn capture<H: ObserverHub>(core: &mut SimCore<'_, H>) -> Self {
         let machines = core.scenario().machines.clone();
         let mut tails = Vec::new();
         for m in machines {
@@ -411,7 +461,10 @@ impl QueueTails {
 /// One-shot form of [`QueueTails::capture`] + [`QueueTails::best_chance`]:
 /// the offer's best chance of success across the cluster right now.
 #[must_use]
-pub fn best_chance_of_success(core: &mut SimCore<'_>, task: &OfferedTask) -> f64 {
+pub fn best_chance_of_success<H: ObserverHub>(
+    core: &mut SimCore<'_, H>,
+    task: &OfferedTask,
+) -> f64 {
     let mut tails = QueueTails::capture(core);
     tails.best_chance(&core.scenario().pet, core.now(), task)
 }
@@ -606,6 +659,39 @@ mod tests {
             let b = cold_tails.best_chance(&s.pet, cold.now(), &offer);
             assert_eq!(a.to_bits(), b.to_bits(), "offer ({arrival}, {deadline})");
         }
+    }
+
+    #[test]
+    fn steal_release_takes_the_newest_suffix_and_accept_merges_in_order() {
+        let s = Scenario::specint(5);
+        let mut core = open_core(&s);
+        let mut donor = AdmissionController::new(8, BackpressurePolicy::Reject);
+        for arrival in [10, 20, 30, 40] {
+            donor.offer(offered(arrival, 500), &mut core);
+        }
+        let moved = donor.release_for_steal(2);
+        assert_eq!(moved.iter().map(|o| o.arrival).collect::<Vec<_>>(), [30, 40]);
+        assert_eq!(donor.queued(), 2);
+        assert_eq!(donor.stats().stolen_out, 2);
+        // Asking for more than is queued empties the queue and no more.
+        assert_eq!(donor.release_for_steal(99).len(), 2);
+        assert_eq!(donor.queued(), 0);
+
+        let mut receiver = AdmissionController::new(8, BackpressurePolicy::Reject);
+        receiver.offer(offered(25, 500), &mut core);
+        receiver.offer(offered(35, 500), &mut core);
+        receiver.accept_stolen(&moved);
+        assert_eq!(receiver.stats().stolen_in, 2);
+        // Merge kept the queue sorted by arrival: the removal order proves it.
+        let drained = receiver.release_for_steal(4);
+        assert_eq!(drained.iter().map(|o| o.arrival).collect::<Vec<_>>(), [25, 30, 35, 40]);
+        // Conservation with steals: offered + stolen_in = admitted +
+        // turned_away + queued + stolen_out.
+        let st = receiver.stats();
+        assert_eq!(
+            st.offered + st.stolen_in,
+            st.admitted + st.turned_away() + receiver.queued() as u64 + st.stolen_out
+        );
     }
 
     #[test]

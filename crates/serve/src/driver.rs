@@ -28,12 +28,13 @@ pub struct ServiceDriver<'a> {
     /// from) and is not kept, so a never-checkpointing driver does not
     /// accumulate boundaries forever.
     has_checkpoint: bool,
-    /// Epoch boundaries since the last checkpoint sweep, oldest first —
-    /// the replay schedule for [`ServiceDriver::kill_and_restore`]. Its
-    /// length (and the cost of a later catch-up replay) is bounded by the
-    /// epochs between sweeps: periodic checkpointing keeps it small
-    /// automatically; a driver that checkpoints only manually must sweep
-    /// ([`ServiceDriver::checkpoint_all`]) at its own cadence to trim it.
+    /// Epoch boundaries still needed for catch-up replay, oldest first —
+    /// the replay schedule for [`ServiceDriver::kill_and_restore`].
+    /// Bounded by the retention contract of `sweep_epoch_log`, which runs
+    /// after every epoch: only boundaries strictly after the oldest live
+    /// checkpoint are kept, so the log never outgrows the interval since
+    /// the most stale shard's last checkpoint — even when periodic
+    /// checkpointing is off and snapshots are taken manually per shard.
     epoch_log: Vec<Tick>,
     /// Telemetry pipeline for epoch records, checkpoint cost, and
     /// kill/restore records. `None` (the default) is the zero-cost
@@ -131,14 +132,13 @@ impl<'a> ServiceDriver<'a> {
     ///
     /// # Errors
     ///
-    /// The first shard error encountered; the clock is not advanced past a
-    /// failing epoch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `delta` is zero.
+    /// [`ServeError::InvalidEpoch`] if `delta` is zero (an epoch must
+    /// advance the clock); otherwise the first shard error encountered.
+    /// The clock is not advanced past a failing epoch.
     pub fn advance(&mut self, delta: Tick) -> Result<Tick, ServeError> {
-        assert!(delta > 0, "epoch must advance the clock");
+        if delta == 0 {
+            return Err(ServeError::InvalidEpoch { delta });
+        }
         let until = self.clock + delta;
         for shard in &mut self.shards {
             shard.advance_to(until)?;
@@ -154,6 +154,7 @@ impl<'a> ServiceDriver<'a> {
         self.clock = until;
         if self.has_checkpoint {
             self.epoch_log.push(until);
+            self.sweep_epoch_log();
         }
         if let Some(interval) = self.checkpoint_every {
             if self.clock >= self.next_checkpoint {
@@ -185,6 +186,25 @@ impl<'a> ServiceDriver<'a> {
         }
         self.has_checkpoint = true;
         self.epoch_log.retain(|&t| t > clock);
+    }
+
+    /// Trims the replay log to what a restore could still need.
+    ///
+    /// **Retention contract:** a revived shard replays the boundaries
+    /// strictly after its own checkpoint tick, so any boundary at or
+    /// before the *oldest live checkpoint* across the fleet can never be
+    /// consulted again and is dropped. Run after every epoch, this bounds
+    /// the log even when periodic checkpointing is off and sweeps happen
+    /// only through manual per-shard [`Shard::take_checkpoint`] calls: the
+    /// log holds at most the boundaries since the most stale shard's last
+    /// checkpoint. A shard with *no* checkpoint pins nothing (it cannot be
+    /// restored at all — [`ServeError::NoCheckpoint`]).
+    fn sweep_epoch_log(&mut self) {
+        let oldest_live =
+            self.shards.iter().filter_map(|s| s.last_checkpoint().map(|cp| cp.taken_at)).min();
+        if let Some(oldest) = oldest_live {
+            self.epoch_log.retain(|&t| t > oldest);
+        }
     }
 
     /// Kills shard `index`'s live state, revives it from its last
@@ -386,6 +406,48 @@ mod tests {
             revived.advance_to(until).unwrap();
         }
         assert_eq!(revived.core().result().unwrap(), expected);
+    }
+
+    #[test]
+    fn zero_epoch_is_a_typed_error() {
+        let scenario = Scenario::specint(3);
+        let mut driver = fleet(&scenario, &ReactiveOnly, None);
+        driver.advance(300).unwrap();
+        assert!(matches!(driver.advance(0), Err(ServeError::InvalidEpoch { delta: 0 })));
+        assert_eq!(driver.clock(), 300, "a rejected epoch must not move the clock");
+    }
+
+    #[test]
+    fn replay_log_is_bounded_by_the_oldest_live_checkpoint() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+        // No periodic checkpointing: retention is driven entirely by the
+        // per-epoch sweep against manually taken checkpoints.
+        let mut driver = fleet(&scenario, &dropper, None);
+        driver.advance(200).unwrap();
+        driver.checkpoint_all();
+        for _ in 0..5 {
+            driver.advance(200).unwrap();
+        }
+        // All five boundaries are after the only checkpoint (t=200): every
+        // one could still be needed for a replay, so all are retained.
+        assert_eq!(driver.epoch_log.len(), 5);
+        // Fresh per-shard snapshots advance the oldest live checkpoint;
+        // the next epoch's sweep drops everything at or before it.
+        let clock = driver.clock();
+        for index in 0..driver.shards().len() {
+            driver.shard_mut(index).unwrap().take_checkpoint(clock);
+        }
+        driver.advance(200).unwrap();
+        assert_eq!(
+            driver.epoch_log.len(),
+            1,
+            "boundaries at or below the oldest live checkpoint must be swept"
+        );
+        // A revive still works off the trimmed log.
+        driver.kill_and_restore(0).unwrap();
+        driver.run_until_idle(200, 400).unwrap();
+        assert!(driver.is_idle());
     }
 
     #[test]

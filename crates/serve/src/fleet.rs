@@ -1,0 +1,987 @@
+//! The parallel shard fleet: epoch-parallel serving with deterministic
+//! epoch-barrier merges and cross-shard work stealing.
+//!
+//! [`FleetDriver`] is the multi-core sibling of
+//! [`ServiceDriver`](crate::ServiceDriver). Each epoch runs in two
+//! strictly separated phases:
+//!
+//! 1. **Parallel phase.** The shard vector is partitioned into contiguous
+//!    chunks, one per worker, and each worker advances its shards to the
+//!    epoch boundary on a crossbeam scoped thread. Shards share *nothing*
+//!    mutable — each owns its core, traffic source, and admission
+//!    controller — so the partition only decides *who* computes a shard's
+//!    epoch, never *what* it computes.
+//! 2. **Barrier phase.** Back on the calling thread, shards are merged in
+//!    shard-index order: steal decisions are planned from the merged
+//!    backlog snapshot and executed, buffered engine events are drained
+//!    into telemetry, the epoch record is emitted, and periodic
+//!    checkpoints are taken.
+//!
+//! **Determinism claim.** Every byte of output — [`TrialResult`]s, shard
+//! checkpoints, telemetry JSONL — is identical at 1, 2, 4, or 8 workers
+//! (pinned by `tests/fleet_determinism.rs`). The argument: the parallel
+//! phase is embarrassingly parallel over owned state, so each shard's
+//! trajectory is a pure function of its inputs; every cross-shard
+//! interaction (stealing) and every observation (telemetry, checkpoints)
+//! happens in the single-threaded barrier in shard-index order; and steal
+//! plans are computed by [`plan_steals`] — a pure function of the merged
+//! epoch snapshot with exact integer tie-breaking — never from thread
+//! timing. Buffering events in per-shard [`EventRelay`] hubs and draining
+//! them at the barrier makes event *observation* order canonical even
+//! though event *production* order across shards is not.
+//!
+//! Work stealing is the serving-layer twist on the paper's thesis: rather
+//! than letting a saturated shard turn work away (or pre-drop it) while a
+//! sibling idles, queued offers migrate at the barrier — the same
+//! utility-aware triage, but the remedy is relocation instead of
+//! dropping. The TLA-style fleet invariants (no task duplicated, no task
+//! lost, saturated shards make progress) are pinned as proptest
+//! properties in `tests/steal_props.rs`.
+
+use crate::admission::{AdmissionController, BackpressurePolicy, QueueTails};
+use crate::shard::{advance_shard_to, ShardCheckpoint};
+use crate::steal::{plan_steals, ShardLoad, StealPolicy};
+use crate::ServeError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use taskdrop_core::DropPolicy;
+use taskdrop_obs::{EpochRecord, ShardEpoch, Telemetry};
+use taskdrop_pmf::Tick;
+use taskdrop_sched::MappingHeuristic;
+use taskdrop_sim::{
+    EventRelay, MigrationKind, SimConfig, SimCore, SimError, SimEvent, StepOutcome, TrialResult,
+};
+use taskdrop_workload::{OfferedTask, Scenario, TrafficSource};
+
+/// One executed cross-shard migration: `offers` moved from shard `from`
+/// to shard `to` at an epoch barrier. Recorded in the fleet's replay log
+/// so [`FleetDriver::kill_and_restore`] can re-apply the exact transfer
+/// during catch-up.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Donating shard index.
+    pub from: usize,
+    /// Receiving shard index.
+    pub to: usize,
+    /// The migrated offers, in the order they left the donor's queue.
+    pub offers: Vec<OfferedTask>,
+}
+
+/// One replayable epoch boundary: the tick the fleet advanced to and the
+/// transfers executed at its barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EpochEntry {
+    until: Tick,
+    transfers: Vec<Transfer>,
+}
+
+/// One tenant/cluster inside a [`FleetDriver`]: the same ingress pipeline
+/// as [`Shard`](crate::Shard) — traffic source → admission controller →
+/// open-world core — but built on a [`SimCore`] whose observer hub is an
+/// [`EventRelay`], which buffers engine events instead of delivering them
+/// to boxed callbacks. That makes the whole shard `Send` (asserted by
+/// this module's tests), so a worker thread can own it for the parallel
+/// phase; the driver drains the buffer at the single-threaded barrier.
+///
+/// Checkpoints reuse [`ShardCheckpoint`] (with no flight recorder), so a
+/// fleet shard's snapshot revives equally well in a serial
+/// [`Shard`](crate::Shard) and vice versa.
+pub struct FleetShard<'a> {
+    name: String,
+    scenario: &'a Scenario,
+    mapper: &'a dyn MappingHeuristic,
+    dropper: &'a dyn DropPolicy,
+    core: SimCore<'a, EventRelay>,
+    source: TrafficSource,
+    admission: AdmissionController,
+    last_checkpoint: Option<ShardCheckpoint>,
+}
+
+impl<'a> FleetShard<'a> {
+    /// Assembles a fleet shard around a fresh open-world core.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration error from [`SimCore::open_in`].
+    #[allow(clippy::too_many_arguments)] // one borrow per collaborating piece
+    pub fn new(
+        name: impl Into<String>,
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        config: SimConfig,
+        exec_seed: u64,
+        source: TrafficSource,
+        admission: AdmissionController,
+    ) -> Result<Self, SimError> {
+        let core = SimCore::<EventRelay>::open_in(scenario, mapper, dropper, config, exec_seed)?;
+        Ok(FleetShard {
+            name: name.into(),
+            scenario,
+            mapper,
+            dropper,
+            core,
+            source,
+            admission,
+            last_checkpoint: None,
+        })
+    }
+
+    /// The shard's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying core (read-only).
+    #[must_use]
+    pub fn core(&self) -> &SimCore<'a, EventRelay> {
+        &self.core
+    }
+
+    /// The admission controller (read-only).
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The traffic source (read-only).
+    #[must_use]
+    pub fn source(&self) -> &TrafficSource {
+        &self.source
+    }
+
+    /// The most recent checkpoint, if one was taken.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&ShardCheckpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Whether the shard has nothing left to do.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.source.is_exhausted() && self.admission.queued() == 0 && self.core.is_drained()
+    }
+
+    /// The shard's final [`TrialResult`] once drained.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotDrained`] while tasks are still in flight.
+    pub fn result(&self) -> Result<TrialResult, SimError> {
+        self.core.result()
+    }
+
+    /// Advances the shard's pipeline to `until` (the per-worker body of
+    /// the parallel phase). Two ingress schedules:
+    ///
+    /// * **Immediate** (`deferred == false`, stealing off) — identical to
+    ///   [`Shard::advance_to`]: the epoch's arrivals are offered *and*
+    ///   injected within the same epoch, so the fleet retraces a serial
+    ///   [`ServiceDriver`](crate::ServiceDriver) exactly.
+    /// * **Deferred** (`deferred == true`, stealing on) — the backlog
+    ///   queued at the previous barrier (including offers migrated in) is
+    ///   injected first, then this epoch's arrivals are offered but left
+    ///   *queued*, so they are still present — and migratable — when the
+    ///   barrier snapshots the fleet. Dispatch is batched at epoch
+    ///   granularity; an offer waits at most one epoch (and is dropped as
+    ///   `Expired` at injection if its deadline lapsed meanwhile).
+    ///
+    /// # Errors
+    ///
+    /// Any error from the admission drain.
+    ///
+    /// [`Shard::advance_to`]: crate::Shard::advance_to
+    fn advance_core(&mut self, until: Tick, deferred: bool) -> Result<StepOutcome, SimError> {
+        if !deferred {
+            return advance_shard_to(&mut self.source, &mut self.admission, &mut self.core, until);
+        }
+        self.admission.drain_due(&mut self.core, until)?;
+        let mut tails: Option<QueueTails> = None;
+        while self.source.peek().is_some_and(|next| next.arrival <= until) {
+            let Some(task) = self.source.pop() else { break };
+            if tails.is_none()
+                && matches!(self.admission.policy(), BackpressurePolicy::PreDrop { .. })
+            {
+                tails = Some(QueueTails::capture(&mut self.core));
+            }
+            match &mut tails {
+                Some(t) => self.admission.offer_with(task, &mut self.core, t),
+                None => self.admission.offer(task, &mut self.core),
+            };
+        }
+        Ok(self.core.run_until(until))
+    }
+
+    /// Releases the newest `count` queued offers to migrate to shard
+    /// `peer`, emitting one `Donated` event per offer at barrier time
+    /// `now`.
+    fn donate(&mut self, count: usize, peer: usize, now: Tick) -> Vec<OfferedTask> {
+        let offers = self.admission.release_for_steal(count);
+        self.emit_migrations(&offers, MigrationKind::Donated, peer, now);
+        offers
+    }
+
+    /// Merges migrated offers into the ingress queue, emitting one
+    /// `Received` event per offer at barrier time `now`.
+    fn receive(&mut self, offers: &[OfferedTask], peer: usize, now: Tick) {
+        self.admission.accept_stolen(offers);
+        self.emit_migrations(offers, MigrationKind::Received, peer, now);
+    }
+
+    fn emit_migrations(
+        &mut self,
+        offers: &[OfferedTask],
+        kind: MigrationKind,
+        peer: usize,
+        now: Tick,
+    ) {
+        let peer = u32::try_from(peer).unwrap_or(u32::MAX);
+        for offer in offers {
+            self.core.notify_observers(&SimEvent::TaskMigrated {
+                type_id: offer.type_id,
+                arrival: offer.arrival,
+                deadline: offer.deadline,
+                now,
+                kind,
+                peer,
+            });
+        }
+    }
+
+    /// Cumulative serving numbers for telemetry epoch records.
+    fn epoch_snapshot(&self) -> ShardEpoch {
+        let stats = self.admission.stats();
+        ShardEpoch {
+            shard: self.name.clone(),
+            backlog: self.admission.queued() as u64,
+            offered: stats.offered,
+            admitted: stats.admitted,
+            turned_away: stats.turned_away(),
+            total_tasks: self.core.total_tasks() as u64,
+            resolved_tasks: self.core.resolved_tasks() as u64,
+            stolen_in: stats.stolen_in,
+            stolen_out: stats.stolen_out,
+        }
+    }
+
+    /// Snapshots the complete shard state and remembers it as the
+    /// restore point.
+    pub fn take_checkpoint(&mut self, taken_at: Tick) -> &ShardCheckpoint {
+        let cp = ShardCheckpoint {
+            taken_at,
+            core: self.core.snapshot(),
+            source: self.source.clone(),
+            admission: self.admission.clone(),
+            flight: None,
+        };
+        self.last_checkpoint.insert(cp)
+    }
+
+    /// Discards the live state and rebuilds the shard from `checkpoint`
+    /// (which must match the shard's scenario and policies). The pending
+    /// event-relay buffer is discarded with the state it described.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error from [`SimCore::restore_in`]; on error the
+    /// live state is unchanged.
+    pub fn restore_from(&mut self, checkpoint: &ShardCheckpoint) -> Result<(), SimError> {
+        self.core =
+            SimCore::restore_in(self.scenario, self.mapper, self.dropper, &checkpoint.core)?;
+        self.source = checkpoint.source.clone();
+        self.admission = checkpoint.admission.clone();
+        self.last_checkpoint = Some(checkpoint.clone());
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for FleetShard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetShard")
+            .field("name", &self.name)
+            .field("scenario", &self.scenario.name)
+            .field("now", &self.core.now())
+            .field("total_tasks", &self.core.total_tasks())
+            .field("resolved_tasks", &self.core.resolved_tasks())
+            .field("ingress_queued", &self.admission.queued())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Worker-pool default: one worker per available core.
+fn default_workers() -> usize {
+    // lint:allow(thread-primitives): sizes the crossbeam worker pool only; fleet output is worker-count-invariant (pinned by tests/fleet_determinism.rs)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Epoch-parallel multi-shard driver with deterministic barrier merges
+/// and optional cross-shard work stealing (see the module docs for the
+/// two-phase structure and the determinism argument).
+pub struct FleetDriver<'a> {
+    shards: Vec<FleetShard<'a>>,
+    clock: Tick,
+    workers: usize,
+    checkpoint_every: Option<Tick>,
+    next_checkpoint: Tick,
+    has_checkpoint: bool,
+    /// Replayable epoch boundaries (tick + executed transfers) still
+    /// needed for catch-up; swept to the oldest live checkpoint after
+    /// every epoch, mirroring `ServiceDriver`'s retention contract.
+    epoch_log: Vec<EpochEntry>,
+    stealing: Option<StealPolicy>,
+    telemetry: Option<Telemetry>,
+}
+
+impl std::fmt::Debug for FleetDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetDriver")
+            .field("shards", &self.shards)
+            .field("clock", &self.clock)
+            .field("workers", &self.workers)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("stealing", &self.stealing)
+            .field("epoch_log_len", &self.epoch_log.len())
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
+}
+
+impl<'a> FleetDriver<'a> {
+    /// An empty fleet at clock 0 with one worker per available core, no
+    /// periodic checkpoints, and stealing disabled.
+    #[must_use]
+    pub fn new() -> Self {
+        FleetDriver {
+            shards: Vec::new(),
+            clock: 0,
+            workers: default_workers(),
+            checkpoint_every: None,
+            next_checkpoint: 0,
+            has_checkpoint: false,
+            epoch_log: Vec::new(),
+            stealing: None,
+            telemetry: None,
+        }
+    }
+
+    /// Sets the worker-thread count for the parallel phase (clamped to at
+    /// least 1). Purely a throughput knob: every observable byte is
+    /// identical at any setting.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables periodic checkpoints, as
+    /// [`ServiceDriver::with_checkpoint_every`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    ///
+    /// [`ServiceDriver::with_checkpoint_every`]: crate::ServiceDriver::with_checkpoint_every
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, interval: Tick) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(interval);
+        self.next_checkpoint = self.clock + interval;
+        self
+    }
+
+    /// Enables cross-shard work stealing at epoch barriers. Only shards
+    /// built on the *same scenario* (name and seed) exchange work —
+    /// offers carry scenario-relative task-type ids.
+    ///
+    /// Stealing switches the fleet's ingress schedule from immediate to
+    /// **epoch-batched dispatch**: an epoch's arrivals stay queued until
+    /// the barrier (where they can migrate) and inject at the next
+    /// epoch's start. Choose the mode before the first
+    /// [`FleetDriver::advance`] and keep it for the fleet's lifetime — it
+    /// is part of the trajectory, not a tuning knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`StealPolicy::is_valid`].
+    #[must_use]
+    pub fn with_stealing(mut self, policy: StealPolicy) -> Self {
+        assert!(policy.is_valid(), "steal policy thresholds out of range");
+        self.stealing = Some(policy);
+        self
+    }
+
+    /// Wires a [`Telemetry`] pipeline into the fleet's barrier: buffered
+    /// engine events are fed per shard (in shard-index order) via
+    /// [`Telemetry::scope_event`], plus the same epoch / checkpoint /
+    /// kill-restore records a [`ServiceDriver`](crate::ServiceDriver)
+    /// emits.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(telemetry.clone());
+        self
+    }
+
+    /// Adds a shard and returns its fleet index.
+    pub fn add_shard(&mut self, shard: FleetShard<'a>) -> usize {
+        self.shards.push(shard);
+        self.shards.len() - 1
+    }
+
+    /// The shared virtual clock.
+    #[must_use]
+    pub fn clock(&self) -> Tick {
+        self.clock
+    }
+
+    /// All shards, in add order.
+    #[must_use]
+    pub fn shards(&self) -> &[FleetShard<'a>] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard (e.g. to take a manual checkpoint).
+    pub fn shard_mut(&mut self, index: usize) -> Option<&mut FleetShard<'a>> {
+        self.shards.get_mut(index)
+    }
+
+    /// Whether every shard is idle.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.shards.iter().all(FleetShard::is_idle)
+    }
+
+    /// Runs one epoch: the parallel phase advances every shard to
+    /// `clock + delta` across the worker pool, then the barrier phase
+    /// merges in shard-index order — steals, telemetry drain, epoch
+    /// record, replay-log upkeep, periodic checkpoints. Returns the new
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidEpoch`] if `delta` is zero; otherwise the
+    /// lowest-indexed shard error from the parallel phase (chosen by
+    /// index, not thread timing, so the surfaced error is deterministic).
+    /// The clock is not advanced past a failing epoch.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker-thread panic on the calling thread.
+    pub fn advance(&mut self, delta: Tick) -> Result<Tick, ServeError> {
+        if delta == 0 {
+            return Err(ServeError::InvalidEpoch { delta });
+        }
+        let until = self.clock + delta;
+        self.parallel_advance(until)?;
+
+        // --- Barrier: everything below runs on the calling thread, in
+        // shard-index order, regardless of worker count. ---
+        let transfers = self.execute_steals(until);
+        self.drain_relays();
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_epoch(&EpochRecord {
+                record: "epoch".to_string(),
+                from: self.clock,
+                to: until,
+                shards: self.shards.iter().map(FleetShard::epoch_snapshot).collect(),
+            });
+        }
+        self.clock = until;
+        if self.has_checkpoint {
+            self.epoch_log.push(EpochEntry { until, transfers });
+            self.sweep_epoch_log();
+        }
+        if let Some(interval) = self.checkpoint_every {
+            if self.clock >= self.next_checkpoint {
+                self.checkpoint_all();
+                while self.next_checkpoint <= self.clock {
+                    self.next_checkpoint += interval;
+                }
+            }
+        }
+        Ok(self.clock)
+    }
+
+    /// The parallel phase: contiguous shard chunks, one crossbeam scoped
+    /// thread each. With one effective worker the thread pool is skipped
+    /// entirely — the 1-worker fleet is *literally* serial code, which
+    /// anchors the determinism differential.
+    fn parallel_advance(&mut self, until: Tick) -> Result<(), ServeError> {
+        let deferred = self.stealing.is_some();
+        let workers = self.workers.min(self.shards.len()).max(1);
+        if workers == 1 {
+            for shard in &mut self.shards {
+                shard.advance_core(until, deferred)?;
+            }
+            return Ok(());
+        }
+        let chunk_size = self.shards.len().div_ceil(workers);
+        let outcome = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks_mut(chunk_size)
+                .enumerate()
+                .map(|(worker, chunk)| {
+                    scope.spawn(move |_| {
+                        for (offset, shard) in chunk.iter_mut().enumerate() {
+                            if let Err(e) = shard.advance_core(until, deferred) {
+                                return Some((worker * chunk_size + offset, e));
+                            }
+                        }
+                        None
+                    })
+                })
+                .collect();
+            let mut first: Option<(usize, SimError)> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(Some((index, e))) => {
+                        if first.as_ref().is_none_or(|(i, _)| index < *i) {
+                            first = Some((index, e));
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            first
+        });
+        match outcome {
+            Ok(None) => Ok(()),
+            Ok(Some((_, e))) => Err(e.into()),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Plans and executes this barrier's migrations. Shards are grouped
+    /// by scenario identity; within each group [`plan_steals`] runs on
+    /// the merged backlog snapshot and the decisions are applied in plan
+    /// order (ascending donor/receiver pairs).
+    fn execute_steals(&mut self, until: Tick) -> Vec<Transfer> {
+        let Some(policy) = self.stealing else { return Vec::new() };
+        let mut groups: BTreeMap<(String, u64), Vec<usize>> = BTreeMap::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let key = (shard.scenario.name.clone(), shard.scenario.seed);
+            groups.entry(key).or_default().push(index);
+        }
+        let mut transfers = Vec::new();
+        for members in groups.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let loads: Vec<ShardLoad> = members
+                .iter()
+                .filter_map(|&i| self.shards.get(i))
+                .map(|s| ShardLoad {
+                    queued: s.admission.queued(),
+                    capacity: s.admission.capacity(),
+                })
+                .collect();
+            for decision in plan_steals(&policy, &loads) {
+                let (Some(&from), Some(&to)) =
+                    (members.get(decision.from), members.get(decision.to))
+                else {
+                    continue;
+                };
+                let Some(donor) = self.shards.get_mut(from) else { continue };
+                let offers = donor.donate(decision.count, to, until);
+                if let Some(receiver) = self.shards.get_mut(to) {
+                    receiver.receive(&offers, from, until);
+                }
+                transfers.push(Transfer { from, to, offers });
+            }
+        }
+        transfers
+    }
+
+    /// Empties every shard's event-relay buffer in shard-index order,
+    /// feeding telemetry when wired. Draining unconditionally keeps the
+    /// buffers from growing without bound on uninstrumented fleets.
+    fn drain_relays(&mut self) {
+        for shard in &mut self.shards {
+            let events = shard.core.hub_mut().take();
+            if let Some(telemetry) = &self.telemetry {
+                for ev in &events {
+                    telemetry.scope_event(&shard.name, ev);
+                }
+            }
+        }
+    }
+
+    /// Snapshots every shard at the current clock and trims the replay
+    /// log, as [`ServiceDriver::checkpoint_all`].
+    ///
+    /// [`ServiceDriver::checkpoint_all`]: crate::ServiceDriver::checkpoint_all
+    pub fn checkpoint_all(&mut self) {
+        let clock = self.clock;
+        for shard in &mut self.shards {
+            let checkpoint = shard.take_checkpoint(clock);
+            let bytes = self
+                .telemetry
+                .as_ref()
+                .map(|_| serde_json::to_string(checkpoint).map_or(0, |json| json.len() as u64));
+            if let (Some(telemetry), Some(bytes)) = (&self.telemetry, bytes) {
+                telemetry.record_checkpoint(&shard.name, clock, bytes);
+            }
+        }
+        self.has_checkpoint = true;
+        self.epoch_log.retain(|e| e.until > clock);
+    }
+
+    /// Trims the replay log to boundaries strictly after the oldest live
+    /// checkpoint — the same retention contract as
+    /// `ServiceDriver::sweep_epoch_log`.
+    fn sweep_epoch_log(&mut self) {
+        let oldest_live = self
+            .shards
+            .iter()
+            .filter_map(|s| s.last_checkpoint.as_ref().map(|cp| cp.taken_at))
+            .min();
+        if let Some(oldest) = oldest_live {
+            self.epoch_log.retain(|e| e.until > oldest);
+        }
+    }
+
+    /// Kills shard `index`'s live state, revives it from its last
+    /// checkpoint, and replays the recorded epoch boundaries — including
+    /// the migrations executed at each barrier, re-applied from the
+    /// replay log: the donor side re-releases its queued offers (which
+    /// determinism guarantees match the recorded transfer) and the
+    /// receiver side re-merges the recorded offers. The revived shard
+    /// rejoins the fleet byte-identical to the state that was destroyed,
+    /// stealing included. Returns the checkpoint tick it was revived
+    /// from.
+    ///
+    /// Replayed events are re-fed to telemetry (at-least-once counter
+    /// semantics, as with the serial driver's re-attached counters).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownShard`] for a bad index,
+    /// [`ServeError::NoCheckpoint`] if the shard was never checkpointed,
+    /// or any restore/replay error.
+    pub fn kill_and_restore(&mut self, index: usize) -> Result<Tick, ServeError> {
+        let shards = self.shards.len();
+        let Some(shard) = self.shards.get_mut(index) else {
+            return Err(ServeError::UnknownShard { index, shards });
+        };
+        let cp = shard
+            .last_checkpoint
+            .clone()
+            .ok_or_else(|| ServeError::NoCheckpoint { shard: shard.name.clone() })?;
+        shard.restore_from(&cp)?;
+        let revived_at = cp.taken_at;
+        let deferred = self.stealing.is_some();
+        for entry in &self.epoch_log {
+            if entry.until <= revived_at {
+                continue;
+            }
+            shard.advance_core(entry.until, deferred)?;
+            for transfer in &entry.transfers {
+                if transfer.from == index {
+                    let offers = shard.donate(transfer.offers.len(), transfer.to, entry.until);
+                    debug_assert_eq!(
+                        offers, transfer.offers,
+                        "deterministic replay re-released different offers than were recorded"
+                    );
+                } else if transfer.to == index {
+                    shard.receive(&transfer.offers, transfer.from, entry.until);
+                }
+            }
+        }
+        let events = shard.core.hub_mut().take();
+        if let Some(telemetry) = &self.telemetry {
+            for ev in &events {
+                telemetry.scope_event(&shard.name, ev);
+            }
+            telemetry.record_kill_restore(&shard.name, revived_at, self.clock, 0);
+        }
+        Ok(revived_at)
+    }
+
+    /// Advances in fixed `epoch`-sized steps until every shard is idle or
+    /// `max_epochs` have run, returning how many epochs ran.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`FleetDriver::advance`].
+    pub fn run_until_idle(&mut self, epoch: Tick, max_epochs: usize) -> Result<usize, ServeError> {
+        let mut epochs = 0;
+        while epochs < max_epochs && !self.is_idle() {
+            self.advance(epoch)?;
+            epochs += 1;
+        }
+        Ok(epochs)
+    }
+}
+
+impl Default for FleetDriver<'_> {
+    fn default() -> Self {
+        FleetDriver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::BackpressurePolicy;
+    use crate::{ServiceDriver, Shard};
+    use taskdrop_core::ProactiveDropper;
+    use taskdrop_sched::Pam;
+    use taskdrop_workload::{BurstySource, DiurnalSource};
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn fleet_shards_are_send() {
+        assert_send::<FleetShard<'static>>();
+        assert_send::<SimCore<'static, EventRelay>>();
+    }
+
+    fn config() -> SimConfig {
+        SimConfig { exclude_boundary: 0, ..SimConfig::default() }
+    }
+
+    fn bursty() -> TrafficSource {
+        TrafficSource::Bursty(BurstySource::new(21, 0.5, 0.0, 400, 900, 350, 12, 220))
+    }
+
+    fn diurnal() -> TrafficSource {
+        TrafficSource::Diurnal(DiurnalSource::new(33, 0.12, 0.9, 3_000, 450, 12, 180))
+    }
+
+    fn fleet_driver<'a>(
+        scenario: &'a Scenario,
+        dropper: &'a dyn DropPolicy,
+        workers: usize,
+    ) -> FleetDriver<'a> {
+        let mut driver = FleetDriver::new().with_workers(workers).with_checkpoint_every(1_000);
+        driver.add_shard(
+            FleetShard::new(
+                "bursty",
+                scenario,
+                &Pam,
+                dropper,
+                config(),
+                7,
+                bursty(),
+                AdmissionController::new(24, BackpressurePolicy::PreDrop { threshold: 0.2 }),
+            )
+            .unwrap(),
+        );
+        driver.add_shard(
+            FleetShard::new(
+                "diurnal",
+                scenario,
+                &Pam,
+                dropper,
+                config(),
+                8,
+                diurnal(),
+                AdmissionController::new(16, BackpressurePolicy::ShedOldest),
+            )
+            .unwrap(),
+        );
+        driver
+    }
+
+    /// The fleet (no stealing) retraces the serial `ServiceDriver` on the
+    /// same plan — results, admission stats, and telemetry JSONL all
+    /// byte-equal.
+    #[test]
+    fn fleet_matches_the_serial_driver_without_stealing() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+
+        let serial_tel = Telemetry::new();
+        let mut serial =
+            ServiceDriver::new().with_checkpoint_every(1_000).with_telemetry(&serial_tel);
+        serial.add_shard(
+            Shard::new(
+                "bursty",
+                &scenario,
+                &Pam,
+                &dropper,
+                config(),
+                7,
+                bursty(),
+                AdmissionController::new(24, BackpressurePolicy::PreDrop { threshold: 0.2 }),
+            )
+            .unwrap(),
+        );
+        serial.add_shard(
+            Shard::new(
+                "diurnal",
+                &scenario,
+                &Pam,
+                &dropper,
+                config(),
+                8,
+                diurnal(),
+                AdmissionController::new(16, BackpressurePolicy::ShedOldest),
+            )
+            .unwrap(),
+        );
+        for i in 0..serial.shards().len() {
+            let telemetry = serial_tel.clone();
+            let shard = serial.shard_mut(i).unwrap();
+            shard.attach_telemetry(&telemetry);
+        }
+        serial.run_until_idle(500, 200).unwrap();
+        assert!(serial.is_idle());
+
+        let fleet_tel = Telemetry::new();
+        let mut fleet = fleet_driver(&scenario, &dropper, 4).with_telemetry(&fleet_tel);
+        fleet.run_until_idle(500, 200).unwrap();
+        assert!(fleet.is_idle());
+
+        let serial_results: Vec<TrialResult> =
+            serial.shards().iter().map(|s| s.core().result().unwrap()).collect();
+        let fleet_results: Vec<TrialResult> =
+            fleet.shards().iter().map(|s| s.result().unwrap()).collect();
+        assert_eq!(fleet_results, serial_results);
+        for (a, b) in fleet.shards().iter().zip(serial.shards()) {
+            assert_eq!(a.admission().stats(), b.admission().stats());
+        }
+        assert_eq!(fleet_tel.jsonl(), serial_tel.jsonl());
+    }
+
+    #[test]
+    fn stealing_conserves_tasks_and_balances_the_ledger() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+        // Two shards on the same scenario with very different pressure:
+        // the bursty one saturates its tiny queue, the other idles.
+        let mut fleet = FleetDriver::new().with_workers(2).with_stealing(StealPolicy {
+            saturation: 0.5,
+            headroom: 0.9,
+            max_per_epoch: 6,
+        });
+        fleet.add_shard(
+            FleetShard::new(
+                "hot",
+                &scenario,
+                &Pam,
+                &dropper,
+                config(),
+                7,
+                bursty(),
+                AdmissionController::new(8, BackpressurePolicy::Reject),
+            )
+            .unwrap(),
+        );
+        fleet.add_shard(
+            FleetShard::new(
+                "cold",
+                &scenario,
+                &Pam,
+                &dropper,
+                config(),
+                8,
+                TrafficSource::Bursty(BurstySource::new(5, 0.05, 0.0, 600, 1_200, 80, 12, 400)),
+                AdmissionController::new(32, BackpressurePolicy::Reject),
+            )
+            .unwrap(),
+        );
+        fleet.run_until_idle(400, 300).unwrap();
+        assert!(fleet.is_idle());
+
+        let stats: Vec<_> = fleet.shards().iter().map(|s| s.admission().stats()).collect();
+        let stolen_out: u64 = stats.iter().map(|s| s.stolen_out).sum();
+        let stolen_in: u64 = stats.iter().map(|s| s.stolen_in).sum();
+        assert!(stolen_out > 0, "pressure imbalance never triggered a steal");
+        assert_eq!(stolen_out, stolen_in, "migrated offers must balance fleet-wide");
+        for (shard, s) in fleet.shards().iter().zip(&stats) {
+            // Per-shard conservation with migration terms.
+            assert_eq!(
+                s.offered + s.stolen_in,
+                s.admitted + s.turned_away() + s.stolen_out,
+                "{} leaked offers",
+                shard.name()
+            );
+            let result = shard.result().unwrap();
+            assert!(result.is_conserved());
+            assert_eq!(result.total_tasks as u64, s.admitted);
+        }
+    }
+
+    #[test]
+    fn zero_epoch_is_a_typed_error() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+        let mut fleet = fleet_driver(&scenario, &dropper, 2);
+        assert!(matches!(fleet.advance(0), Err(ServeError::InvalidEpoch { delta: 0 })));
+    }
+
+    #[test]
+    fn kill_and_restore_replays_transfers_exactly() {
+        let scenario = Scenario::specint(3);
+        let dropper = ProactiveDropper::paper_default();
+        let policy = StealPolicy { saturation: 0.5, headroom: 0.9, max_per_epoch: 6 };
+
+        let build = |workers: usize| {
+            let mut fleet = FleetDriver::new()
+                .with_workers(workers)
+                .with_checkpoint_every(800)
+                .with_stealing(policy);
+            fleet.add_shard(
+                FleetShard::new(
+                    "hot",
+                    &scenario,
+                    &Pam,
+                    &dropper,
+                    config(),
+                    7,
+                    bursty(),
+                    AdmissionController::new(8, BackpressurePolicy::Reject),
+                )
+                .unwrap(),
+            );
+            fleet.add_shard(
+                FleetShard::new(
+                    "cold",
+                    &scenario,
+                    &Pam,
+                    &dropper,
+                    config(),
+                    8,
+                    diurnal(),
+                    AdmissionController::new(32, BackpressurePolicy::Reject),
+                )
+                .unwrap(),
+            );
+            fleet
+        };
+
+        let mut straight = build(1);
+        straight.run_until_idle(400, 300).unwrap();
+        assert!(straight.is_idle());
+        let expected: Vec<TrialResult> =
+            straight.shards().iter().map(|s| s.result().unwrap()).collect();
+        let expected_stats: Vec<_> =
+            straight.shards().iter().map(|s| s.admission().stats()).collect();
+        assert!(
+            expected_stats.iter().any(|s| s.stolen_in + s.stolen_out > 0),
+            "plan never stole; the replay test is vacuous"
+        );
+
+        let mut disturbed = build(4);
+        for _ in 0..7 {
+            disturbed.advance(400).unwrap();
+        }
+        let revived = disturbed.kill_and_restore(0).unwrap();
+        assert!(revived < disturbed.clock());
+        for _ in 0..3 {
+            disturbed.advance(400).unwrap();
+        }
+        disturbed.kill_and_restore(1).unwrap();
+        disturbed.run_until_idle(400, 300).unwrap();
+        assert!(disturbed.is_idle());
+
+        let results: Vec<TrialResult> =
+            disturbed.shards().iter().map(|s| s.result().unwrap()).collect();
+        assert_eq!(results, expected, "kill/restore with stealing diverged");
+        let stats: Vec<_> = disturbed.shards().iter().map(|s| s.admission().stats()).collect();
+        assert_eq!(stats, expected_stats);
+    }
+}

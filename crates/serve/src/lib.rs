@@ -56,14 +56,18 @@
 
 mod admission;
 mod driver;
+mod fleet;
 mod shard;
+mod steal;
 
 pub use admission::{
     best_chance_of_success, AdmissionController, AdmissionOutcome, AdmissionStats,
     BackpressurePolicy, QueueTails,
 };
 pub use driver::ServiceDriver;
+pub use fleet::{FleetDriver, FleetShard, Transfer};
 pub use shard::{Shard, ShardCheckpoint};
+pub use steal::{plan_steals, ShardLoad, StealDecision, StealPolicy};
 
 use taskdrop_sim::SimError;
 
@@ -85,6 +89,11 @@ pub enum ServeError {
         /// Name of the shard.
         shard: String,
     },
+    /// An epoch advance that would not move the clock (`delta == 0`).
+    InvalidEpoch {
+        /// The rejected delta.
+        delta: taskdrop_pmf::Tick,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -96,6 +105,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::NoCheckpoint { shard } => {
                 write!(f, "shard `{shard}` has no checkpoint to restore from")
+            }
+            ServeError::InvalidEpoch { delta } => {
+                write!(f, "epoch delta {delta} must be positive to advance the clock")
             }
         }
     }

@@ -7,8 +7,48 @@ use taskdrop_core::DropPolicy;
 use taskdrop_obs::{FlightRecorder, FlightSnapshot, ShardEpoch, Telemetry};
 use taskdrop_pmf::Tick;
 use taskdrop_sched::MappingHeuristic;
-use taskdrop_sim::{Checkpoint, SimConfig, SimCore, SimError, SimObserver, StepOutcome};
+use taskdrop_sim::{
+    Checkpoint, ObserverHub, SimConfig, SimCore, SimError, SimObserver, StepOutcome,
+};
 use taskdrop_workload::{Scenario, TrafficSource};
+
+/// Advances one shard's slice of virtual time to `until`: offers every
+/// source arrival due by then to the admission controller, injects the
+/// admitted ones, and runs the core. Admission decisions for the whole
+/// epoch are made against the queue state at its start — the granularity a
+/// real front-end batches at — so under a pre-drop policy the machine
+/// queue tails are captured once per epoch and shared across the offer
+/// batch (identical decisions, far fewer chain convolutions).
+///
+/// Generic over the core's [`ObserverHub`] so both [`Shard`] (boxed
+/// observers, single-threaded) and the fleet's relay-hubbed shards
+/// ([`crate::FleetShard`]) share the exact same ingress pipeline — which
+/// is what makes the fleet's per-shard trajectories identical to a serial
+/// [`crate::ServiceDriver`] run of the same plan.
+///
+/// # Errors
+///
+/// Any error from [`AdmissionController::drain_due`].
+pub(crate) fn advance_shard_to<H: ObserverHub>(
+    source: &mut TrafficSource,
+    admission: &mut AdmissionController,
+    core: &mut SimCore<'_, H>,
+    until: Tick,
+) -> Result<StepOutcome, SimError> {
+    let mut tails: Option<QueueTails> = None;
+    while source.peek().is_some_and(|next| next.arrival <= until) {
+        let Some(task) = source.pop() else { break };
+        if tails.is_none() && matches!(admission.policy(), BackpressurePolicy::PreDrop { .. }) {
+            tails = Some(QueueTails::capture(core));
+        }
+        match &mut tails {
+            Some(t) => admission.offer_with(task, core, t),
+            None => admission.offer(task, core),
+        };
+    }
+    admission.drain_due(core, until)?;
+    Ok(core.run_until(until))
+}
 
 /// Everything needed to rebuild a shard mid-flight: the core's
 /// [`Checkpoint`] plus the serving-side state the core knows nothing about
@@ -189,6 +229,8 @@ impl<'a> Shard<'a> {
             turned_away: stats.turned_away(),
             total_tasks: self.core.total_tasks() as u64,
             resolved_tasks: self.core.resolved_tasks() as u64,
+            stolen_in: stats.stolen_in,
+            stolen_out: stats.stolen_out,
         }
     }
 
@@ -205,21 +247,7 @@ impl<'a> Shard<'a> {
     ///
     /// Any error from [`AdmissionController::drain_due`].
     pub fn advance_to(&mut self, until: Tick) -> Result<StepOutcome, SimError> {
-        let mut tails: Option<QueueTails> = None;
-        while self.source.peek().is_some_and(|next| next.arrival <= until) {
-            let Some(task) = self.source.pop() else { break };
-            if tails.is_none()
-                && matches!(self.admission.policy(), BackpressurePolicy::PreDrop { .. })
-            {
-                tails = Some(QueueTails::capture(&mut self.core));
-            }
-            match &mut tails {
-                Some(t) => self.admission.offer_with(task, &mut self.core, t),
-                None => self.admission.offer(task, &mut self.core),
-            };
-        }
-        self.admission.drain_due(&mut self.core, until)?;
-        Ok(self.core.run_until(until))
+        advance_shard_to(&mut self.source, &mut self.admission, &mut self.core, until)
     }
 
     /// Snapshots the complete shard state (core + source + admission) and

@@ -1,0 +1,270 @@
+//! Deterministic cross-shard work stealing: the epoch-barrier planner.
+//!
+//! At every fleet epoch barrier the driver snapshots each shard's ingress
+//! backlog and asks [`plan_steals`] what (if anything) should move. The
+//! planner is a **pure function of the merged epoch snapshot** — no clocks,
+//! no thread identity, no randomness — so the same fleet state always
+//! produces the same transfer plan regardless of how many worker threads
+//! computed the epoch. That purity is what lets the fleet claim
+//! byte-identical output at 1/2/4/8 workers (`tests/fleet_determinism.rs`)
+//! and what the proptest invariants in `tests/steal_props.rs` lean on: no
+//! task duplicated, no task lost, saturated shards always make progress.
+//!
+//! The policy mirrors the paper's spirit at the serving layer: a shard
+//! whose ingress queue saturates is about to turn work away (or pre-drop
+//! it), while a sibling with headroom could still meet those deadlines.
+//! Moving queued offers at the barrier is the serving-layer analogue of
+//! dropping low-probability tasks — except here the "drop" is a relocation
+//! that preserves the chance of an on-time completion.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// When and how aggressively shards exchange queued work at epoch
+/// barriers.
+///
+/// A shard *donates* while its ingress backlog is at or above
+/// `saturation × capacity` (rounded up); a shard is *eligible to receive*
+/// while its backlog is strictly below `headroom × capacity` (rounded
+/// down) and below its capacity. At most `max_per_epoch` tasks leave any
+/// one donor per barrier, so a single burst cannot ricochet across the
+/// whole fleet in one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StealPolicy {
+    /// Donor threshold as a fraction of ingress capacity (`0 < s ≤ 1`).
+    pub saturation: f64,
+    /// Receiver ceiling as a fraction of ingress capacity (`0 ≤ h ≤ 1`).
+    pub headroom: f64,
+    /// Hard cap on tasks donated by any one shard per epoch barrier.
+    pub max_per_epoch: usize,
+}
+
+impl Default for StealPolicy {
+    /// Donate when ≥ 90 % full, receive while < 50 % full, at most four
+    /// tasks per donor per barrier.
+    fn default() -> Self {
+        StealPolicy { saturation: 0.9, headroom: 0.5, max_per_epoch: 4 }
+    }
+}
+
+impl StealPolicy {
+    /// Whether the thresholds are usable: `0 < saturation ≤ 1`,
+    /// `0 ≤ headroom ≤ 1`, and a non-zero per-epoch budget.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.saturation > 0.0
+            && self.saturation <= 1.0
+            && self.headroom >= 0.0
+            && self.headroom <= 1.0
+            && self.max_per_epoch > 0
+    }
+
+    /// Donor threshold in queued tasks for a shard with `capacity` ingress
+    /// slots: `ceil(saturation × capacity)`, at least 1.
+    #[must_use]
+    pub fn donor_threshold(&self, capacity: usize) -> usize {
+        (((capacity as f64) * self.saturation).ceil() as usize).max(1)
+    }
+
+    /// Receiver ceiling in queued tasks for a shard with `capacity`
+    /// ingress slots: `floor(headroom × capacity)`.
+    #[must_use]
+    pub fn receiver_ceiling(&self, capacity: usize) -> usize {
+        ((capacity as f64) * self.headroom).floor() as usize
+    }
+}
+
+/// One shard's ingress load as seen at an epoch barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// Offers currently queued at the shard's admission controller.
+    pub queued: usize,
+    /// The admission controller's ingress capacity.
+    pub capacity: usize,
+}
+
+/// One planned transfer: move `count` queued tasks from shard `from` to
+/// shard `to` (indices into the load slice handed to [`plan_steals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealDecision {
+    /// Donating shard index.
+    pub from: usize,
+    /// Receiving shard index.
+    pub to: usize,
+    /// Number of queued tasks to move.
+    pub count: usize,
+}
+
+/// Plans the epoch's cross-shard transfers from a load snapshot.
+///
+/// Donors are visited in shard-index order; each donates one task at a
+/// time to the eligible receiver with the **lowest load ratio**
+/// (`queued / capacity`, compared exactly by integer cross-multiplication
+/// so no float rounding can flip a choice), ties broken by lowest shard
+/// index. Donation stops when the donor sinks below its saturation
+/// threshold, exhausts its per-epoch budget, or no receiver has headroom
+/// left. Roles are exclusive within a plan — a shard that donated cannot
+/// receive and one that received cannot donate, so a transfer can never
+/// ping-pong back in the same barrier. Per-pair moves are accumulated, so
+/// the plan lists each `(from, to)` pair at most once, in ascending
+/// order.
+///
+/// The function is deterministic and total: invalid policies (see
+/// [`StealPolicy::is_valid`]) and fleets of fewer than two shards plan
+/// nothing.
+#[must_use]
+pub fn plan_steals(policy: &StealPolicy, loads: &[ShardLoad]) -> Vec<StealDecision> {
+    if !policy.is_valid() || loads.len() < 2 {
+        return Vec::new();
+    }
+    let mut queued: Vec<usize> = loads.iter().map(|l| l.queued).collect();
+    let mut donated = vec![false; loads.len()];
+    let mut received = vec![false; loads.len()];
+    let mut moves: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for from in 0..loads.len() {
+        if received.get(from).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(&ShardLoad { capacity, .. }) = loads.get(from) else { continue };
+        let threshold = policy.donor_threshold(capacity);
+        let mut budget = policy.max_per_epoch;
+        while budget > 0 && queued.get(from).is_some_and(|&q| q >= threshold) {
+            let Some(to) = best_receiver(policy, loads, &queued, &donated, from) else { break };
+            if let Some(q) = queued.get_mut(from) {
+                *q -= 1;
+            }
+            if let Some(q) = queued.get_mut(to) {
+                *q += 1;
+            }
+            if let Some(d) = donated.get_mut(from) {
+                *d = true;
+            }
+            if let Some(r) = received.get_mut(to) {
+                *r = true;
+            }
+            *moves.entry((from, to)).or_insert(0) += 1;
+            budget -= 1;
+        }
+    }
+    moves.into_iter().map(|((from, to), count)| StealDecision { from, to, count }).collect()
+}
+
+/// The eligible receiver with the lowest `queued/capacity` ratio (exact
+/// integer comparison), ties to the lowest index; `None` when nobody has
+/// headroom. Shards that already donated this barrier are excluded.
+fn best_receiver(
+    policy: &StealPolicy,
+    loads: &[ShardLoad],
+    queued: &[usize],
+    donated: &[bool],
+    from: usize,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (idx, load) in loads.iter().enumerate() {
+        if idx == from || load.capacity == 0 || donated.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let q = queued.get(idx).copied().unwrap_or(0);
+        if q >= load.capacity || q >= policy.receiver_ceiling(load.capacity) {
+            continue;
+        }
+        match best {
+            None => best = Some(idx),
+            Some(b) => {
+                let bq = queued.get(b).copied().unwrap_or(0);
+                let bcap = loads.get(b).map_or(1, |l| l.capacity);
+                // q/cap < bq/bcap  ⇔  q·bcap < bq·cap (all non-negative).
+                if (q as u128) * (bcap as u128) < (bq as u128) * (load.capacity as u128) {
+                    best = Some(idx);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(queued: usize, capacity: usize) -> ShardLoad {
+        ShardLoad { queued, capacity }
+    }
+
+    #[test]
+    fn nothing_moves_below_saturation() {
+        let policy = StealPolicy::default();
+        // 8/10 is below the 0.9 threshold (ceil(9)).
+        let plan = plan_steals(&policy, &[load(8, 10), load(0, 10)]);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn saturated_donor_sheds_into_idle_receiver() {
+        let policy = StealPolicy { saturation: 0.5, headroom: 0.5, max_per_epoch: 10 };
+        // Donor at 10/10, threshold 5: donates until below 5 or receiver
+        // hits its ceiling (floor(0.5·10) = 5). Receiver takes 5, donor
+        // then sits at 5 which is still ≥ threshold but nobody has
+        // headroom left.
+        let plan = plan_steals(&policy, &[load(10, 10), load(0, 10)]);
+        assert_eq!(plan, vec![StealDecision { from: 0, to: 1, count: 5 }]);
+    }
+
+    #[test]
+    fn per_epoch_budget_caps_donation() {
+        let policy = StealPolicy { saturation: 0.5, headroom: 0.9, max_per_epoch: 2 };
+        let plan = plan_steals(&policy, &[load(10, 10), load(0, 10)]);
+        assert_eq!(plan, vec![StealDecision { from: 0, to: 1, count: 2 }]);
+    }
+
+    #[test]
+    fn receiver_choice_is_lowest_ratio_then_lowest_index() {
+        let policy = StealPolicy { saturation: 0.5, headroom: 1.0, max_per_epoch: 1 };
+        // Ratios: shard1 2/8 = 0.25, shard2 1/5 = 0.20 → shard2 wins.
+        let plan = plan_steals(&policy, &[load(10, 10), load(2, 8), load(1, 5)]);
+        assert_eq!(plan, vec![StealDecision { from: 0, to: 2, count: 1 }]);
+        // Exact ties (1/5 vs 2/10) go to the lower index.
+        let plan = plan_steals(&policy, &[load(10, 10), load(1, 5), load(2, 10)]);
+        assert_eq!(plan, vec![StealDecision { from: 0, to: 1, count: 1 }]);
+    }
+
+    #[test]
+    fn receivers_never_overfill() {
+        let policy = StealPolicy { saturation: 0.8, headroom: 1.0, max_per_epoch: 100 };
+        // Donor thresholds: 8 for the 10-slot shard (donor), 4 for the
+        // 4-slot shard (not a donor at 3). Receiver had 3/4: exactly one
+        // slot of headroom.
+        let loads = [load(10, 10), load(3, 4)];
+        let plan = plan_steals(&policy, &loads);
+        assert_eq!(plan, vec![StealDecision { from: 0, to: 1, count: 1 }]);
+    }
+
+    #[test]
+    fn invalid_policy_or_single_shard_plans_nothing() {
+        let bad = StealPolicy { saturation: 0.0, ..StealPolicy::default() };
+        assert!(plan_steals(&bad, &[load(10, 10), load(0, 10)]).is_empty());
+        let zero_budget = StealPolicy { max_per_epoch: 0, ..StealPolicy::default() };
+        assert!(plan_steals(&zero_budget, &[load(10, 10), load(0, 10)]).is_empty());
+        assert!(plan_steals(&StealPolicy::default(), &[load(10, 10)]).is_empty());
+    }
+
+    #[test]
+    fn planning_is_a_pure_function_of_the_snapshot() {
+        let policy = StealPolicy { saturation: 0.6, headroom: 0.8, max_per_epoch: 3 };
+        let loads = [load(9, 10), load(2, 10), load(7, 8), load(0, 6)];
+        let first = plan_steals(&policy, &loads);
+        for _ in 0..10 {
+            assert_eq!(first, plan_steals(&policy, &loads));
+        }
+        // Conservation inside the plan itself: total moved out == total
+        // moved in, and no donor exceeds its budget.
+        let mut out = vec![0usize; loads.len()];
+        let mut inn = vec![0usize; loads.len()];
+        for d in &first {
+            out[d.from] += d.count;
+            inn[d.to] += d.count;
+        }
+        assert_eq!(out.iter().sum::<usize>(), inn.iter().sum::<usize>());
+        assert!(out.iter().all(|&o| o <= policy.max_per_epoch));
+    }
+}

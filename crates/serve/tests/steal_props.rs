@@ -1,0 +1,166 @@
+//! TLA-style fleet invariants for cross-shard work stealing, pinned as
+//! proptest properties over random fleets (random shard counts, ingress
+//! capacities, bursty sources, backpressure policies, steal thresholds)
+//! with mid-run kill/restore:
+//!
+//! * **No task duplicated** — every admitted offer becomes exactly one
+//!   engine task; migrated offers are admitted (or turned away) by
+//!   exactly one shard.
+//! * **No task lost** — per-shard and fleet-wide admission ledgers
+//!   balance with the migration terms included, and the engine's own
+//!   conservation identity holds for every shard.
+//! * **Progress** — the fleet always drains to idle within the epoch
+//!   budget: a saturated shard sheds into its siblings instead of
+//!   wedging.
+//! * **Worker-count invariance** — the same random fleet at 1 and 3
+//!   workers produces identical results and ledgers (the broader
+//!   byte-equality differential lives in `tests/fleet_determinism.rs`).
+
+use proptest::prelude::*;
+use taskdrop_core::ProactiveDropper;
+use taskdrop_sched::Pam;
+use taskdrop_serve::{
+    AdmissionController, AdmissionStats, BackpressurePolicy, FleetDriver, FleetShard, StealPolicy,
+};
+use taskdrop_sim::{SimConfig, TrialResult};
+use taskdrop_workload::{BurstySource, Scenario, TrafficSource};
+
+/// One randomly drawn shard: its seeds, ingress bound, traffic shape and
+/// backpressure policy.
+#[derive(Debug, Clone)]
+struct ShardSpec {
+    exec_seed: u64,
+    source_seed: u64,
+    capacity: usize,
+    rate_on: f64,
+    slack: u64,
+    total: u64,
+    backpressure: BackpressurePolicy,
+}
+
+fn shard_spec() -> impl Strategy<Value = ShardSpec> {
+    ((0u64..1_000, 0u64..1_000), (4usize..32, 0.05f64..0.6), (200u64..500, 40u64..160, 0u8..3))
+        .prop_map(|((exec_seed, source_seed), (capacity, rate_on), (slack, total, bp))| ShardSpec {
+            exec_seed,
+            source_seed,
+            capacity,
+            rate_on,
+            slack,
+            total,
+            backpressure: match bp {
+                0 => BackpressurePolicy::Reject,
+                1 => BackpressurePolicy::ShedOldest,
+                _ => BackpressurePolicy::PreDrop { threshold: 0.2 },
+            },
+        })
+}
+
+fn steal_policy() -> impl Strategy<Value = StealPolicy> {
+    (0.3f64..=1.0, 0.2f64..=1.0, 1usize..6).prop_map(|(saturation, headroom, max_per_epoch)| {
+        StealPolicy { saturation, headroom, max_per_epoch }
+    })
+}
+
+/// Runs one randomly drawn fleet to idle and returns its observables.
+fn run_fleet(
+    specs: &[ShardSpec],
+    policy: StealPolicy,
+    epoch: u64,
+    workers: usize,
+    kill: Option<usize>,
+) -> (Vec<TrialResult>, Vec<AdmissionStats>) {
+    let scenario = Scenario::specint(3);
+    let dropper = ProactiveDropper::paper_default();
+    let config = SimConfig { exclude_boundary: 0, ..SimConfig::default() };
+    let mut fleet = FleetDriver::new()
+        .with_workers(workers)
+        .with_checkpoint_every(epoch * 2)
+        .with_stealing(policy);
+    for (i, spec) in specs.iter().enumerate() {
+        let source = TrafficSource::Bursty(BurstySource::new(
+            spec.source_seed,
+            spec.rate_on,
+            0.0,
+            400,
+            900,
+            spec.slack,
+            12,
+            spec.total,
+        ));
+        fleet.add_shard(
+            FleetShard::new(
+                format!("shard-{i}"),
+                &scenario,
+                &Pam,
+                &dropper,
+                config,
+                spec.exec_seed,
+                source,
+                AdmissionController::new(spec.capacity, spec.backpressure),
+            )
+            .expect("valid shard"),
+        );
+    }
+    // Fixed choreography: a prefix of epochs, an optional kill/restore,
+    // then drain. Identical at every worker count.
+    for _ in 0..4 {
+        fleet.advance(epoch).expect("epoch");
+    }
+    if let Some(victim) = kill {
+        let victim = victim % specs.len();
+        fleet.kill_and_restore(victim).expect("kill/restore");
+    }
+    fleet.run_until_idle(epoch, 600).expect("drain");
+    assert!(fleet.is_idle(), "PROGRESS violated: fleet wedged inside the epoch budget");
+    (
+        fleet.shards().iter().map(|s| s.result().expect("drained")).collect(),
+        fleet.shards().iter().map(|s| s.admission().stats()).collect(),
+    )
+}
+
+proptest! {
+    // Each case runs the same fleet twice (1 and 3 workers); the drawn
+    // totals bound every run to a few hundred tasks.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_fleets_conserve_tasks_and_drain(
+        specs in proptest::collection::vec(shard_spec(), 2..5),
+        policy in steal_policy(),
+        epoch in 200u64..600,
+        kill_draw in 0usize..8,
+    ) {
+        // Half the cases kill (and restore) a random shard mid-run.
+        let kill = (kill_draw < 4).then_some(kill_draw);
+        let (results, stats) = run_fleet(&specs, policy, epoch, 1, kill);
+
+        // NO TASK LOST, fleet-wide: every migrated offer that left a
+        // donor arrived at exactly one receiver…
+        let stolen_out: u64 = stats.iter().map(|s| s.stolen_out).sum();
+        let stolen_in: u64 = stats.iter().map(|s| s.stolen_in).sum();
+        prop_assert_eq!(stolen_out, stolen_in, "migration ledger unbalanced");
+        // …so fleet-wide every offer is admitted or turned away once.
+        let offered: u64 = stats.iter().map(|s| s.offered).sum();
+        let settled: u64 = stats.iter().map(|s| s.admitted + s.turned_away()).sum();
+        prop_assert_eq!(offered, settled, "offers lost or duplicated fleet-wide");
+
+        for (result, s) in results.iter().zip(&stats) {
+            // NO TASK LOST / NO TASK DUPLICATED, per shard: the ledger
+            // balances with the migration terms (idle ⇒ queued == 0)…
+            prop_assert_eq!(
+                s.offered + s.stolen_in,
+                s.admitted + s.turned_away() + s.stolen_out,
+                "per-shard ledger unbalanced"
+            );
+            // …every admitted offer became exactly one engine task…
+            prop_assert_eq!(result.total_tasks as u64, s.admitted);
+            // …and the engine resolved each exactly once.
+            prop_assert!(result.is_conserved(), "engine conservation violated");
+        }
+
+        // WORKER-COUNT INVARIANCE: same fleet, 3 workers, same bytes.
+        let (results3, stats3) = run_fleet(&specs, policy, epoch, 3, kill);
+        prop_assert_eq!(results, results3, "results diverged across worker counts");
+        prop_assert_eq!(stats, stats3, "ledgers diverged across worker counts");
+    }
+}

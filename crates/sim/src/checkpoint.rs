@@ -38,7 +38,12 @@ use taskdrop_model::Task;
 use taskdrop_pmf::Tick;
 
 /// Current checkpoint format version; bump on incompatible layout changes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: [`SimEvent`](crate::SimEvent) gained the `TaskMigrated` variant
+/// (cross-shard work stealing) and the serving layer's `AdmissionStats`
+/// gained `stolen_in`/`stolen_out` counters — both reachable from shard
+/// checkpoints, so flight-recorder snapshots from v1 no longer match.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// One outstanding engine event with its schedule time and FIFO sequence
 /// number (ties at equal times pop in sequence order).

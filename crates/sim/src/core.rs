@@ -34,7 +34,7 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
 use crate::metrics::{TaskFate, TrialResult};
-use crate::observer::{DropKind, SimEvent, SimObserver};
+use crate::observer::{DropKind, ObserverHub, SimEvent, SimObserver};
 use std::collections::VecDeque;
 use taskdrop_core::DropPolicy;
 use taskdrop_model::ctx::{CacheStats, PolicyCtx};
@@ -251,7 +251,7 @@ pub struct SimState {
 /// let result = core.result().unwrap();
 /// assert!(result.is_conserved());
 /// ```
-pub struct SimCore<'a> {
+pub struct SimCore<'a, H: ObserverHub = Vec<Box<dyn SimObserver + 'a>>> {
     scenario: &'a Scenario,
     mapper: &'a dyn MappingHeuristic,
     dropper: &'a dyn DropPolicy,
@@ -268,7 +268,10 @@ pub struct SimCore<'a> {
     fates: FateBook,
     now: Tick,
     mapping_events: u64,
-    observers: Vec<Box<dyn SimObserver + 'a>>,
+    /// Event delivery backend ([`ObserverHub`]): boxed observers by
+    /// default, an [`EventRelay`](crate::EventRelay) buffer for `Send`
+    /// cores on fleet worker threads.
+    observers: H,
     /// The persistent evaluation context (DESIGN.md §13): policy/mapper
     /// scratch plus the keyed PET×tail cache. Constructed once per core,
     /// reused across steps and serving epochs; derived state that is
@@ -278,7 +281,7 @@ pub struct SimCore<'a> {
 
 // Manual impl: the mapper/dropper are `&dyn` references whose traits don't
 // (and shouldn't) require `Debug`; summarise the trial state instead.
-impl std::fmt::Debug for SimCore<'_> {
+impl<H: ObserverHub> std::fmt::Debug for SimCore<'_, H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimCore")
             .field("now", &self.now)
@@ -337,6 +340,66 @@ impl<'a> SimCore<'a> {
         Self::assemble(scenario, Vec::new(), mapper, dropper, config, exec_seed)
     }
 
+    /// Attaches a streaming observer; it receives every subsequent
+    /// [`SimEvent`] in simulation order. Observers are read-only and cannot
+    /// change the trial's outcome.
+    ///
+    /// Only the default hub holds boxed observers; a core on an
+    /// [`EventRelay`](crate::EventRelay) hub buffers events instead and
+    /// its consumers drain them via [`SimCore::hub_mut`].
+    pub fn attach(&mut self, observer: impl SimObserver + 'a) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Rebuilds a core from a [`Checkpoint`], picking the trial up exactly
+    /// where [`SimCore::snapshot`] left it. The caller re-supplies the
+    /// deterministic context a checkpoint only *names*: the scenario
+    /// (validated against the recorded name and seed) and the two stateless
+    /// policies. Passing a different mapper or dropper than the original
+    /// run's is permitted — the state is policy-agnostic — but then the
+    /// continuation is a what-if fork, not a byte-identical resume.
+    ///
+    /// This is [`SimCore::restore_in`] pinned to the default observer hub;
+    /// observers are not part of a checkpoint, so attach them afresh.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimCore::restore_in`].
+    pub fn restore(
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, SimError> {
+        Self::restore_in(scenario, mapper, dropper, checkpoint)
+    }
+}
+
+impl<'a, H: ObserverHub> SimCore<'a, H> {
+    /// [`SimCore::open`] for an explicitly chosen [`ObserverHub`] — the
+    /// constructor the parallel fleet uses to build `Send` cores on
+    /// [`EventRelay`](crate::EventRelay) hubs
+    /// (`SimCore::<EventRelay>::open_in(..)`).
+    ///
+    /// # Errors
+    ///
+    /// Same configuration errors as [`SimCore::new`].
+    pub fn open_in(
+        scenario: &'a Scenario,
+        mapper: &'a dyn MappingHeuristic,
+        dropper: &'a dyn DropPolicy,
+        config: SimConfig,
+        exec_seed: u64,
+    ) -> Result<Self, SimError> {
+        Self::assemble(scenario, Vec::new(), mapper, dropper, config, exec_seed)
+    }
+
+    /// The event delivery backend (to drain an
+    /// [`EventRelay`](crate::EventRelay) at a fleet epoch barrier).
+    pub fn hub_mut(&mut self) -> &mut H {
+        &mut self.observers
+    }
+
     fn assemble(
         scenario: &'a Scenario,
         tasks: Vec<Task>,
@@ -380,7 +443,7 @@ impl<'a> SimCore<'a> {
             fates,
             now: 0,
             mapping_events: 0,
-            observers: Vec::new(),
+            observers: H::default(),
             ctx: PolicyCtx::new(),
         };
         core.schedule_failures();
@@ -412,13 +475,6 @@ impl<'a> SimCore<'a> {
                 t = up_at;
             }
         }
-    }
-
-    /// Attaches a streaming observer; it receives every subsequent
-    /// [`SimEvent`] in simulation order. Observers are read-only and cannot
-    /// change the trial's outcome.
-    pub fn attach(&mut self, observer: impl SimObserver + 'a) {
-        self.observers.push(Box::new(observer));
     }
 
     /// Admits a new task mid-trial (open-world arrival). The core assigns
@@ -657,16 +713,19 @@ impl<'a> SimCore<'a> {
     /// # Panics
     ///
     /// Panics if `ev` is any variant other than
-    /// [`SimEvent::AdmissionDropped`] or [`SimEvent::CascadeForfeited`].
+    /// [`SimEvent::AdmissionDropped`], [`SimEvent::CascadeForfeited`], or
+    /// [`SimEvent::TaskMigrated`].
     ///
     /// [`MetricsObserver`]: crate::MetricsObserver
     pub fn notify_observers(&mut self, ev: &SimEvent) {
         assert!(
             matches!(
                 ev,
-                SimEvent::AdmissionDropped { .. } | SimEvent::CascadeForfeited { .. }
+                SimEvent::AdmissionDropped { .. }
+                    | SimEvent::CascadeForfeited { .. }
+                    | SimEvent::TaskMigrated { .. }
             ),
-            "only AdmissionDropped/CascadeForfeited may be forwarded from outside the engine: {ev:?}"
+            "only AdmissionDropped/CascadeForfeited/TaskMigrated may be forwarded from outside the engine: {ev:?}"
         );
         emit(&mut self.observers, *ev);
     }
@@ -754,13 +813,11 @@ impl<'a> SimCore<'a> {
         }
     }
 
-    /// Rebuilds a core from a [`Checkpoint`], picking the trial up exactly
-    /// where [`SimCore::snapshot`] left it. The caller re-supplies the
-    /// deterministic context a checkpoint only *names*: the scenario
-    /// (validated against the recorded name and seed) and the two stateless
-    /// policies. Passing a different mapper or dropper than the original
-    /// run's is permitted — the state is policy-agnostic — but then the
-    /// continuation is a what-if fork, not a byte-identical resume.
+    /// Rebuilds a core from a [`Checkpoint`] on any [`ObserverHub`] —
+    /// [`SimCore::restore`] pins this to the default hub; the parallel
+    /// fleet restores straight onto [`EventRelay`](crate::EventRelay)
+    /// hubs. The restored hub starts empty ([`Default`]): observers and
+    /// buffered events are never part of a checkpoint.
     ///
     /// # Errors
     ///
@@ -772,7 +829,7 @@ impl<'a> SimCore<'a> {
     /// before the clock, in-flight executions matched by current-epoch
     /// completion events), and single-placement of every unresolved task;
     /// plus any config validation error.
-    pub fn restore(
+    pub fn restore_in(
         scenario: &'a Scenario,
         mapper: &'a dyn MappingHeuristic,
         dropper: &'a dyn DropPolicy,
@@ -828,7 +885,7 @@ impl<'a> SimCore<'a> {
             },
             now: checkpoint.now,
             mapping_events: checkpoint.mapping_events,
-            observers: Vec::new(),
+            observers: H::default(),
             // Cache and scratch are derived state: a restored core starts
             // cold and re-derives identical bytes (tests/tail_cache.rs).
             ctx: PolicyCtx::new(),
@@ -1360,17 +1417,16 @@ fn validate_checkpoint(scenario: &Scenario, checkpoint: &Checkpoint) -> Result<(
     Ok(())
 }
 
-/// Notifies every observer of one event.
-fn emit(observers: &mut [Box<dyn SimObserver + '_>], ev: SimEvent) {
-    for obs in observers.iter_mut() {
-        obs.on_event(&ev);
-    }
+/// Delivers one event through the core's hub (boxed observers or a
+/// buffering relay — the engine does not care which).
+fn emit<H: ObserverHub>(observers: &mut H, ev: SimEvent) {
+    observers.deliver(&ev);
 }
 
 /// Records the fate a terminal event implies and notifies observers. The
 /// event→fate mapping lives in one place — [`SimEvent::resolved`] — so the
 /// engine's accounting and the observer stream cannot drift apart.
-fn resolve(fates: &mut FateBook, observers: &mut [Box<dyn SimObserver + '_>], ev: SimEvent) {
+fn resolve<H: ObserverHub>(fates: &mut FateBook, observers: &mut H, ev: SimEvent) {
     let (task, fate) = ev.resolved().expect("resolve() called with a non-terminal event");
     fates.set(task, fate);
     emit(observers, ev);
@@ -1388,7 +1444,7 @@ fn actual_exec(scenario: &Scenario, exec_seed: u64, task: &Task, machine: Machin
 /// Starts the next runnable pending task on an idle machine, reactively
 /// dropping heads that can no longer begin before their deadlines.
 #[allow(clippy::too_many_arguments)] // split borrows of one SimCore
-fn start_next(
+fn start_next<H: ObserverHub>(
     scenario: &Scenario,
     config: SimConfig,
     exec_seed: u64,
@@ -1396,7 +1452,7 @@ fn start_next(
     m: &mut MachineSt,
     events: &mut EventQueue,
     fates: &mut FateBook,
-    observers: &mut [Box<dyn SimObserver + '_>],
+    observers: &mut H,
 ) {
     debug_assert!(m.running.is_none());
     if m.down {

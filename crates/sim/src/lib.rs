@@ -72,7 +72,8 @@ pub use error::SimError;
 pub use event::Event;
 pub use metrics::{TaskFate, TrialResult};
 pub use observer::{
-    AdmissionDropKind, DropKind, EventLog, ForfeitKind, MetricsObserver, SimEvent, SimObserver,
+    AdmissionDropKind, DropKind, EventLog, EventRelay, ForfeitKind, MetricsObserver, MigrationKind,
+    ObserverHub, SimEvent, SimObserver,
 };
 pub use report::SimReport;
 pub use runner::{RunSpec, TrialRunner};

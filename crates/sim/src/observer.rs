@@ -70,6 +70,20 @@ pub enum ForfeitKind {
     AdmissionShed,
 }
 
+/// Which side of a cross-shard migration an event describes (see
+/// [`SimEvent::TaskMigrated`]). Every migration emits exactly one
+/// [`Donated`](MigrationKind::Donated) event on the source shard and one
+/// [`Received`](MigrationKind::Received) event on the destination shard, so
+/// fleet-wide the two counts always balance — the no-duplication /
+/// no-loss ledger of the work-stealing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationKind {
+    /// The task left this shard's ingress queue for another shard.
+    Donated,
+    /// The task joined this shard's ingress queue from another shard.
+    Received,
+}
+
 /// One engine state change, streamed to observers as it happens.
 ///
 /// Every task admitted to the core receives **exactly one terminal event**:
@@ -210,6 +224,29 @@ pub enum SimEvent {
         /// Why the node was forfeited.
         kind: ForfeitKind,
     },
+    /// A serving-layer fleet moved a still-queued ingress offer from one
+    /// shard to another at an epoch barrier (deterministic work stealing).
+    /// Emitted from outside the core through
+    /// [`SimCore::notify_observers`](crate::SimCore::notify_observers),
+    /// never by the core itself, once per side: the donor shard sees
+    /// [`MigrationKind::Donated`], the receiver [`MigrationKind::Received`].
+    /// The offer had not been admitted yet, so it has no [`TaskId`] and this
+    /// is **not** a terminal event — it is the migration ledger of the
+    /// work-stealing layer.
+    TaskMigrated {
+        /// Requested task type of the migrated offer.
+        type_id: TaskTypeId,
+        /// Nominal arrival tick of the offer.
+        arrival: Tick,
+        /// Requested deadline.
+        deadline: Tick,
+        /// Decision time (the fleet's epoch-barrier clock).
+        now: Tick,
+        /// Which side of the transfer this shard is.
+        kind: MigrationKind,
+        /// Fleet index of the shard on the other side of the transfer.
+        peer: u32,
+    },
 }
 
 impl SimEvent {
@@ -255,6 +292,81 @@ pub trait SimObserver {
 impl<F: FnMut(&SimEvent)> SimObserver for F {
     fn on_event(&mut self, ev: &SimEvent) {
         self(ev)
+    }
+}
+
+/// The event delivery backend of a [`SimCore`](crate::SimCore).
+///
+/// The core is generic over how events leave it. The default hub — a
+/// `Vec<Box<dyn SimObserver>>` — delivers synchronously to dynamically
+/// attached observers and is the right choice everywhere single-threaded.
+/// [`EventRelay`] instead buffers events in a plain `Vec<SimEvent>`; it
+/// holds no trait objects, so a core built on it is `Send` and can run an
+/// epoch on a worker thread, with the buffered events drained at the
+/// single-threaded epoch barrier in deterministic shard order.
+///
+/// A hub is passive storage/fan-out only: it must not influence the trial
+/// (the same read-only contract as [`SimObserver`]). `Default` is the
+/// empty hub, used by checkpoint restore and core assembly.
+pub trait ObserverHub: Default {
+    /// Delivers one event, in simulation order.
+    fn deliver(&mut self, ev: &SimEvent);
+}
+
+/// The default hub: synchronous fan-out to attached boxed observers.
+impl<'a> ObserverHub for Vec<Box<dyn SimObserver + 'a>> {
+    fn deliver(&mut self, ev: &SimEvent) {
+        for obs in self.iter_mut() {
+            obs.on_event(ev);
+        }
+    }
+}
+
+/// A `Send` observer hub that buffers events instead of delivering them.
+///
+/// This is the hub the parallel fleet runs on: a
+/// [`SimCore<EventRelay>`](crate::SimCore) owns no `dyn SimObserver`
+/// boxes, so whole shards move onto crossbeam scoped threads; after the
+/// epoch's parallel phase, the driver drains each shard's relay **in
+/// shard-index order** on the barrier thread and feeds the events to
+/// telemetry there. Because every consumer folds over event *data* only,
+/// barrier-time replay is byte-identical to inline delivery at any worker
+/// count.
+#[derive(Debug, Default)]
+pub struct EventRelay {
+    events: Vec<SimEvent>,
+}
+
+impl EventRelay {
+    /// An empty relay.
+    #[must_use]
+    pub fn new() -> Self {
+        EventRelay::default()
+    }
+
+    /// Buffered events not yet drained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes every buffered event, leaving the relay empty (the buffer's
+    /// allocation is handed off with the events).
+    #[must_use]
+    pub fn take(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl ObserverHub for EventRelay {
+    fn deliver(&mut self, ev: &SimEvent) {
+        self.events.push(*ev);
     }
 }
 
@@ -483,6 +595,47 @@ mod tests {
         for (ev, want) in cases {
             assert_eq!(ev.resolved(), want, "{ev:?}");
         }
+    }
+
+    #[test]
+    fn migration_events_are_not_terminal() {
+        let ev = SimEvent::TaskMigrated {
+            type_id: TaskTypeId(2),
+            arrival: 10,
+            deadline: 90,
+            now: 40,
+            kind: MigrationKind::Donated,
+            peer: 1,
+        };
+        assert_eq!(ev.resolved(), None, "migrated offers have no TaskId yet");
+    }
+
+    #[test]
+    fn event_relay_buffers_and_hands_off() {
+        let mut relay = EventRelay::new();
+        assert!(relay.is_empty());
+        relay.deliver(&SimEvent::Arrived { task: task(0) });
+        relay.deliver(&SimEvent::MappingRound { now: 5 });
+        assert_eq!(relay.len(), 2);
+        let events = relay.take();
+        assert!(relay.is_empty());
+        assert!(matches!(events[1], SimEvent::MappingRound { now: 5 }));
+    }
+
+    #[test]
+    fn vec_hub_fans_out_to_boxed_observers() {
+        use std::cell::Cell;
+        let count = Cell::new(0usize);
+        {
+            let mut hub: Vec<Box<dyn SimObserver + '_>> =
+                vec![Box::new(|_: &SimEvent| count.set(count.get() + 1))];
+            hub.deliver(&SimEvent::MappingRound { now: 3 });
+            hub.deliver(&SimEvent::MappingRound { now: 4 });
+        }
+        assert_eq!(count.get(), 2);
+        // The relay hub, unlike the vec hub, is Send (the fleet's claim).
+        fn assert_send<T: Send>() {}
+        assert_send::<EventRelay>();
     }
 
     #[test]

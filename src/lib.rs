@@ -121,7 +121,7 @@ pub mod demo {
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use crate::experiment::{ExperimentBuilder, ExperimentSpec, ScenarioSpec};
-    pub use crate::service::{ServicePlan, ServiceReport, ShardPlan, ShardReport};
+    pub use crate::service::{FleetPlan, ServicePlan, ServiceReport, ShardPlan, ShardReport};
     pub use taskdrop_core::{
         ApproxDropper, DropDecision, DropPolicy, OptimalDropper, ProactiveDropper, ReactiveOnly,
         ThresholdDropper,
@@ -142,8 +142,8 @@ pub mod prelude {
     pub use taskdrop_pmf::{chance_of_success, deadline_convolve, Compaction, Pmf, Tick};
     pub use taskdrop_sched::{Edf, Fcfs, HeuristicKind, MappingHeuristic, MinMin, Msd, Pam, Sjf};
     pub use taskdrop_serve::{
-        AdmissionController, AdmissionStats, BackpressurePolicy, ServeError, ServiceDriver, Shard,
-        ShardCheckpoint,
+        AdmissionController, AdmissionStats, BackpressurePolicy, FleetDriver, FleetShard,
+        ServeError, ServiceDriver, Shard, ShardCheckpoint, StealPolicy,
     };
     pub use taskdrop_sim::{
         AdmissionDropKind, Checkpoint, DropKind, DropperKind, EventLog, ForfeitKind,

@@ -21,6 +21,7 @@
 //!     epoch: 500,
 //!     checkpoint_every: Some(2_000),
 //!     max_epochs: 100,
+//!     parallel: None,
 //!     shards: vec![ShardPlan {
 //!         name: "tenant-a".into(),
 //!         mapper: HeuristicKind::Pam,
@@ -43,7 +44,8 @@ use taskdrop_core::DropPolicy;
 use taskdrop_pmf::Tick;
 use taskdrop_sched::{HeuristicKind, MappingHeuristic};
 use taskdrop_serve::{
-    AdmissionController, AdmissionStats, BackpressurePolicy, ServeError, ServiceDriver, Shard,
+    AdmissionController, AdmissionStats, BackpressurePolicy, FleetDriver, FleetShard, ServeError,
+    ServiceDriver, Shard, StealPolicy,
 };
 use taskdrop_sim::{DropperKind, SimConfig, TrialResult};
 use taskdrop_workload::TrafficSource;
@@ -70,6 +72,26 @@ pub struct ShardPlan {
     pub backpressure: BackpressurePolicy,
 }
 
+/// Parallel-fleet execution options for a [`ServicePlan`].
+///
+/// Absent (`parallel: None`), the plan runs on the serial
+/// [`ServiceDriver`]. Present, it runs on the epoch-parallel
+/// [`FleetDriver`] — same report either way when `stealing` is off,
+/// since the fleet's per-shard trajectories are byte-identical to the
+/// serial driver's (and identical at any worker count regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetPlan {
+    /// Worker threads for the parallel phase; `None` picks one per
+    /// available core. Purely a throughput knob — never observable.
+    #[serde(default)]
+    pub workers: Option<usize>,
+    /// Cross-shard work stealing at epoch barriers, if enabled (switches
+    /// ingress to epoch-batched dispatch — see
+    /// [`FleetDriver::with_stealing`]).
+    #[serde(default)]
+    pub stealing: Option<StealPolicy>,
+}
+
 /// A complete serving session: scenario + shard fleet + clock discipline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServicePlan {
@@ -83,6 +105,10 @@ pub struct ServicePlan {
     pub checkpoint_every: Option<Tick>,
     /// Epoch budget for [`ServicePlan::run`].
     pub max_epochs: usize,
+    /// Parallel-fleet options; `None` (the default, and what plans
+    /// serialized by older builds deserialize to) runs serially.
+    #[serde(default)]
+    pub parallel: Option<FleetPlan>,
 }
 
 /// Outcome of one shard after the fleet went idle.
@@ -126,6 +152,10 @@ impl ServicePlan {
         let droppers: Vec<Box<dyn DropPolicy>> =
             self.shards.iter().map(|s| s.dropper.build()).collect();
 
+        if let Some(fleet) = self.parallel {
+            return self.run_fleet(&scenario, &mappers, &droppers, fleet);
+        }
+
         let mut driver = match self.checkpoint_every {
             Some(interval) => ServiceDriver::new().with_checkpoint_every(interval),
             None => ServiceDriver::new(),
@@ -157,6 +187,52 @@ impl ServicePlan {
             .collect::<Result<Vec<_>, ServeError>>()?;
         Ok(ServiceReport { clock: driver.clock(), epochs, idle, shards })
     }
+
+    /// The [`FleetDriver`] execution path of [`ServicePlan::run`].
+    fn run_fleet(
+        &self,
+        scenario: &taskdrop_workload::Scenario,
+        mappers: &[Box<dyn MappingHeuristic>],
+        droppers: &[Box<dyn DropPolicy>],
+        fleet: FleetPlan,
+    ) -> Result<ServiceReport, ServeError> {
+        let mut driver = FleetDriver::new();
+        if let Some(workers) = fleet.workers {
+            driver = driver.with_workers(workers);
+        }
+        if let Some(policy) = fleet.stealing {
+            driver = driver.with_stealing(policy);
+        }
+        if let Some(interval) = self.checkpoint_every {
+            driver = driver.with_checkpoint_every(interval);
+        }
+        for ((plan, mapper), dropper) in self.shards.iter().zip(mappers).zip(droppers) {
+            driver.add_shard(FleetShard::new(
+                plan.name.clone(),
+                scenario,
+                mapper.as_ref(),
+                dropper.as_ref(),
+                plan.config,
+                plan.exec_seed,
+                plan.source.clone(),
+                AdmissionController::new(plan.ingress_capacity, plan.backpressure),
+            )?);
+        }
+        let epochs = driver.run_until_idle(self.epoch, self.max_epochs)?;
+        let idle = driver.is_idle();
+        let shards = driver
+            .shards()
+            .iter()
+            .map(|shard| {
+                Ok(ShardReport {
+                    name: shard.name().to_string(),
+                    result: shard.result()?,
+                    admission: shard.admission().stats(),
+                })
+            })
+            .collect::<Result<Vec<_>, ServeError>>()?;
+        Ok(ServiceReport { clock: driver.clock(), epochs, idle, shards })
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +247,7 @@ mod tests {
             epoch: 500,
             checkpoint_every: Some(2_000),
             max_epochs: 150,
+            parallel: None,
             shards: vec![
                 ShardPlan {
                     name: "bursty".into(),
@@ -209,6 +286,48 @@ mod tests {
             assert!(shard.result.is_conserved(), "{} lost tasks", shard.name);
             assert_eq!(shard.result.total_tasks as u64, shard.admission.admitted);
         }
+    }
+
+    #[test]
+    fn parallel_plan_without_stealing_matches_the_serial_report() {
+        let serial = plan().run().unwrap();
+        for workers in [1, 4] {
+            let mut parallel = plan();
+            parallel.parallel = Some(FleetPlan { workers: Some(workers), stealing: None });
+            assert_eq!(
+                parallel.run().unwrap(),
+                serial,
+                "fleet at {workers} workers diverged from the serial driver"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_plan_runs_to_idle_and_balances_the_ledger() {
+        let mut p = plan();
+        p.parallel = Some(FleetPlan {
+            workers: Some(2),
+            stealing: Some(StealPolicy { saturation: 0.5, headroom: 0.9, max_per_epoch: 4 }),
+        });
+        let report = p.run().unwrap();
+        assert!(report.idle, "stealing fleet did not drain in {} epochs", report.epochs);
+        let stolen_out: u64 = report.shards.iter().map(|s| s.admission.stolen_out).sum();
+        let stolen_in: u64 = report.shards.iter().map(|s| s.admission.stolen_in).sum();
+        assert_eq!(stolen_out, stolen_in);
+        for shard in &report.shards {
+            assert!(shard.result.is_conserved(), "{} lost tasks", shard.name);
+            assert_eq!(
+                shard.admission.offered + shard.admission.stolen_in,
+                shard.admission.admitted
+                    + shard.admission.turned_away()
+                    + shard.admission.stolen_out
+            );
+        }
+        // A plan without the `parallel` field still deserializes (older
+        // plan files) and runs serially.
+        let legacy = r#"{"scenario":{"Specint":{"seed":11}},"shards":[],"epoch":500,"checkpoint_every":null,"max_epochs":1}"#;
+        let p: ServicePlan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.parallel, None);
     }
 
     #[test]

@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "function_chains",
     "online_arrivals",
     "oversubscription_sweep",
+    "parallel_fleet",
     "quickstart",
     "service_loop",
     "telemetry",
